@@ -1,0 +1,19 @@
+package loosesim_test
+
+import "loosesim"
+
+// newThroughputConfig builds the config BenchmarkSimulatorThroughput runs.
+func newThroughputConfig() (loosesim.Config, error) {
+	cfg, err := loosesim.DefaultMachine("gcc")
+	if err != nil {
+		return cfg, err
+	}
+	cfg.WarmupInstructions = 10_000
+	cfg.MeasureInstructions = 100_000
+	return cfg, nil
+}
+
+// runConfig is a tiny indirection so benches share the public Run path.
+func runConfig(cfg loosesim.Config) (*loosesim.Result, error) {
+	return loosesim.Run(cfg)
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig 4          # Figure 4 only
+//	experiments -fig all        # every figure
+//	experiments -ablation crc   # one ablation
+//	experiments -quick          # short runs for a fast look
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loosesim/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		asJSON   = flag.Bool("json", false, "emit tables as JSON")
+		fig      = flag.String("fig", "", "figure to regenerate: 4, 5, 6, 8, 9, or all")
+		ablation = flag.String("ablation", "", "ablation to run: recovery, crc, fwd, iqpressure, crcpolicy, monolithic, memdep, predictor, loops, or all")
+		quick    = flag.Bool("quick", false, "short runs (smoke-test quality)")
+		measure  = flag.Uint64("inst", 0, "override measured instructions per run")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *fig == "" && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *measure > 0 {
+		opt.Measure = *measure
+	}
+	opt.Seed = *seed
+
+	type job struct {
+		name string
+		run  func(experiments.Options) (*experiments.Table, error)
+	}
+	var jobs []job
+	addFig := func(name string, f func(experiments.Options) (*experiments.Table, error)) {
+		jobs = append(jobs, job{name, f})
+	}
+	switch *fig {
+	case "":
+	case "4":
+		addFig("fig4", experiments.Fig4)
+	case "5":
+		addFig("fig5", experiments.Fig5)
+	case "6":
+		addFig("fig6", experiments.Fig6)
+	case "8":
+		addFig("fig8", experiments.Fig8)
+	case "9":
+		addFig("fig9", experiments.Fig9)
+	case "all":
+		addFig("fig4", experiments.Fig4)
+		addFig("fig5", experiments.Fig5)
+		addFig("fig6", experiments.Fig6)
+		addFig("fig8", experiments.Fig8)
+		addFig("fig9", experiments.Fig9)
+	default:
+		log.Fatalf("unknown figure %q", *fig)
+	}
+	switch *ablation {
+	case "":
+	case "recovery":
+		addFig("recovery", experiments.AblationLoadRecovery)
+	case "crc":
+		addFig("crc", experiments.AblationCRC)
+	case "fwd":
+		addFig("fwd", experiments.AblationForwardDepth)
+	case "iqpressure":
+		addFig("iqpressure", experiments.AblationIQPressure)
+	case "crcpolicy":
+		addFig("crcpolicy", experiments.AblationCRCPolicy)
+	case "monolithic":
+		addFig("monolithic", experiments.AblationMonolithic)
+	case "memdep":
+		addFig("memdep", experiments.AblationMemDep)
+	case "predictor":
+		addFig("predictor", experiments.AblationPredictor)
+	case "loops":
+		fmt.Println(experiments.LoopDelayCheck())
+	case "all":
+		addFig("recovery", experiments.AblationLoadRecovery)
+		addFig("crc", experiments.AblationCRC)
+		addFig("fwd", experiments.AblationForwardDepth)
+		addFig("iqpressure", experiments.AblationIQPressure)
+		addFig("crcpolicy", experiments.AblationCRCPolicy)
+		addFig("monolithic", experiments.AblationMonolithic)
+		addFig("memdep", experiments.AblationMemDep)
+		addFig("predictor", experiments.AblationPredictor)
+		fmt.Println(experiments.LoopDelayCheck())
+	default:
+		log.Fatalf("unknown ablation %q", *ablation)
+	}
+
+	for _, j := range jobs {
+		start := time.Now()
+		t, err := j.run(opt)
+		if err != nil {
+			log.Fatalf("%s: %v", j.name, err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(t); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		fmt.Println(t)
+		fmt.Printf("[%s took %.1fs]\n\n", j.name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,194 @@
+// Command loosim runs one simulation of the loose-loops machine and prints
+// its statistics.
+//
+// Usage:
+//
+//	loosim -bench gcc -deciq 5 -iqex 5 -regread 3
+//	loosim -bench swim -dra
+//	loosim -bench apsi-swim -load stall -inst 1000000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"loosesim/internal/pipeline"
+	"loosesim/internal/workload"
+)
+
+// printJSON emits a machine-readable report of the run.
+func printJSON(cfg pipeline.Config, res *pipeline.Result) {
+	pr, fw, crc, miss := res.OperandShare()
+	report := struct {
+		Benchmark string
+		DecIQLat  int
+		IQExLat   int
+		RegRead   int
+		DRA       bool
+		LoadPol   string
+		MemDepPol string
+		IPC       float64
+		Counters  pipeline.Counters
+		Cycles    pipeline.CycleStack
+		Operand   struct{ PreRead, Forwarded, CRC, Miss float64 }
+		IQ        struct{ Occupancy, Retained float64 }
+		PerThread []uint64
+	}{
+		Benchmark: res.Benchmark,
+		DecIQLat:  cfg.DecIQLat,
+		IQExLat:   cfg.IQExLat,
+		RegRead:   cfg.RegReadLat,
+		DRA:       cfg.UseDRA,
+		LoadPol:   cfg.LoadPolicy.String(),
+		MemDepPol: cfg.MemDep.String(),
+		IPC:       res.IPC(),
+		Counters:  res.Counters,
+		Cycles:    res.Cycles,
+		PerThread: res.RetiredPerThread,
+	}
+	report.Operand.PreRead, report.Operand.Forwarded, report.Operand.CRC, report.Operand.Miss = pr, fw, crc, miss
+	report.IQ.Occupancy, report.IQ.Retained = res.IQOccupancy, res.IQRetained
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loosim: ")
+
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		dra      = flag.Bool("dra", false, "enable the distributed register algorithm")
+		regRead  = flag.Int("regread", 3, "register file access latency (3, 5 or 7 in the paper)")
+		decIQ    = flag.Int("deciq", 0, "override DEC-IQ latency (0 = derive from -regread/-dra)")
+		iqEx     = flag.Int("iqex", 0, "override IQ-EX latency (0 = derive from -regread/-dra)")
+		loadPol  = flag.String("load", "reissue", "load resolution policy: reissue, refetch, stall")
+		memDep   = flag.String("memdep", "storewait", "memory dependence policy: storewait, blind, conservative")
+		inst     = flag.Uint64("inst", 300_000, "instructions to measure")
+		warm     = flag.Uint64("warmup", 150_000, "instructions to warm up")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		iqSize   = flag.Int("iq", 0, "override IQ entries (0 = default 128)")
+		inflight = flag.Int("inflight", 0, "override max in-flight (0 = default 256)")
+		clusters = flag.Int("clusters", 0, "override cluster count (0 = default 8)")
+		verbose  = flag.Bool("v", false, "print extended statistics")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		trace    = flag.Uint64("trace", 0, "trace the first N retired instructions to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.PaperOrder() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	wl, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg pipeline.Config
+	if *dra {
+		cfg = pipeline.DRAConfigRF(wl, *regRead)
+	} else {
+		cfg = pipeline.BaseConfigRF(wl, *regRead)
+	}
+	if *decIQ > 0 {
+		cfg.DecIQLat = *decIQ
+	}
+	if *iqEx > 0 {
+		cfg.IQExLat = *iqEx
+	}
+	switch *loadPol {
+	case "reissue":
+		cfg.LoadPolicy = pipeline.LoadReissue
+	case "refetch":
+		cfg.LoadPolicy = pipeline.LoadRefetch
+	case "stall":
+		cfg.LoadPolicy = pipeline.LoadStall
+	default:
+		log.Fatalf("unknown load policy %q", *loadPol)
+	}
+	switch *memDep {
+	case "storewait":
+		cfg.MemDep = pipeline.MemDepStoreWait
+	case "blind":
+		cfg.MemDep = pipeline.MemDepBlind
+	case "conservative":
+		cfg.MemDep = pipeline.MemDepConservative
+	default:
+		log.Fatalf("unknown memory dependence policy %q", *memDep)
+	}
+	cfg.Seed = *seed
+	cfg.WarmupInstructions = *warm
+	cfg.MeasureInstructions = *inst
+	if *iqSize > 0 {
+		cfg.IQEntries = *iqSize
+	}
+	if *inflight > 0 {
+		cfg.MaxInFlight = *inflight
+	}
+	if *clusters > 0 {
+		cfg.Clusters = *clusters
+		cfg.DRA.Clusters = *clusters
+	}
+
+	if *trace > 0 {
+		cfg.Tracer = pipeline.NewTracer(os.Stderr, *trace)
+	}
+
+	m, err := pipeline.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := m.Run()
+
+	if *asJSON {
+		printJSON(cfg, res)
+		return
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("pipeline         DEC-IQ=%d IQ-EX=%d regread=%d dra=%v load=%s\n",
+		cfg.DecIQLat, cfg.IQExLat, cfg.RegReadLat, cfg.UseDRA, cfg.LoadPolicy)
+	fmt.Printf("cycles           %d\n", res.Counters.Cycles)
+	fmt.Printf("retired          %d (IPC %.3f)\n", res.Counters.Retired, res.IPC())
+	fmt.Printf("branches         %d (mispredict %.2f%%)\n", res.Counters.Branches, 100*res.MispredictRate())
+	fmt.Printf("loads            %d (L1 miss %.2f%%, L2 miss %d, bank conflicts %d, TLB traps %d)\n",
+		res.Counters.Loads, 100*res.L1MissRate(), res.Counters.L2Misses,
+		res.Counters.BankConflicts, res.Counters.TLBMissTraps)
+	fmt.Printf("load misspecs    %d; data reissues %d\n", res.Counters.LoadMisspecs, res.Counters.DataReissues)
+	fmt.Printf("memory ordering  %d order traps, %d store forwards (%s policy)\n",
+		res.Counters.MemOrderTraps, res.Counters.StoreForwards, cfg.MemDep)
+	fmt.Printf("squashed         %d total, %d issued\n", res.Counters.SquashedTotal, res.Counters.SquashedIssued)
+	fmt.Printf("IQ occupancy     %.1f mean, %.1f issued-retained\n", res.IQOccupancy, res.IQRetained)
+	fmt.Printf("cycle stack      %s\n", res.Cycles)
+	if cfg.UseDRA {
+		pr, fw, crc, miss := res.OperandShare()
+		fmt.Printf("operands         pre-read %.1f%%, forwarded %.1f%%, CRC %.1f%%, miss %.3f%%\n",
+			100*pr, 100*fw, 100*crc, 100*miss)
+		fmt.Printf("operand reissues %d; front-end stall cycles %d\n",
+			res.Counters.OperandReissues, res.Counters.FrontStalls)
+	}
+	if *verbose {
+		fmt.Printf("fetched          %d (+%d wrong-path), BTB bubbles %d\n",
+			res.Counters.Fetched, res.Counters.WrongPathFetch, res.Counters.BTBBubbles)
+		fmt.Printf("issued           %d slots, useful executions %d, useless work %d\n",
+			res.Counters.IssuedTotal, res.Counters.ExecutedUseful, res.UselessWork())
+		fmt.Printf("rename stalls    %d on IQ-full\n", res.Counters.RenameStallIQ)
+		for i, r := range res.RetiredPerThread {
+			fmt.Printf("thread %d         %d retired\n", i, r)
+		}
+		fmt.Printf("operand gap      p50=%d p90=%d cycles, <=9: %.1f%%\n",
+			res.OperandGap.Percentile(0.5), res.OperandGap.Percentile(0.9),
+			100*res.OperandGap.Fraction(9))
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,59 @@
+// Quickstart: simulate one benchmark on the paper's base machine and print
+// the headline statistics, including the activity on each of the three
+// loose loops the paper studies.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loosesim"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The base machine of the paper's Section 2: 8-wide SMT, 128-entry
+	// clustered IQ, DEC-IQ = 5, IQ-EX = 5 with a 3-cycle register file
+	// read, load-hit speculation with reissue recovery.
+	cfg, err := loosesim.DefaultMachine("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.WarmupInstructions = 100_000
+	cfg.MeasureInstructions = 200_000
+
+	res, err := loosesim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s\n", res.Benchmark)
+	fmt.Printf("IPC:       %.3f over %d cycles\n\n", res.IPC(), res.Counters.Cycles)
+
+	fmt.Println("branch resolution loop (fetch <- execute):")
+	fmt.Printf("  %d branches, %.2f%% mispredicted\n",
+		res.Counters.Branches, 100*res.MispredictRate())
+	fmt.Printf("  %d instructions squashed (%d of them already issued)\n\n",
+		res.Counters.SquashedTotal, res.Counters.SquashedIssued)
+
+	fmt.Println("load resolution loop (issue <- execute):")
+	fmt.Printf("  %d loads, %.2f%% missed L1, %d bank conflicts\n",
+		res.Counters.Loads, 100*res.L1MissRate(), res.Counters.BankConflicts)
+	fmt.Printf("  %d load-hit mis-speculations, %d instructions reissued\n",
+		res.Counters.LoadMisspecs, res.Counters.DataReissues)
+	fmt.Printf("  IQ: %.1f entries occupied on average, %.1f of them issued-and-retained\n\n",
+		res.IQOccupancy, res.IQRetained)
+
+	fmt.Println("memory dependence loop (issue <- store address resolution):")
+	fmt.Printf("  %d order traps, %d loads forwarded from the store queue\n\n",
+		res.Counters.MemOrderTraps, res.Counters.StoreForwards)
+
+	fmt.Println("useless work (the paper's cost of loose-loop mis-speculation):")
+	fmt.Printf("  %d instructions of discarded work\n\n", res.UselessWork())
+
+	fmt.Println("where the cycles went:")
+	fmt.Printf("  %s\n", res.Cycles)
+}

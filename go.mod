@@ -1,0 +1,3 @@
+module loosesim
+
+go 1.22

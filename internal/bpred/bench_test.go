@@ -1,0 +1,43 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStream(n int) ([]uint64, []bool) {
+	rng := rand.New(rand.NewSource(9))
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = uint64(rng.Intn(256)) * 4
+		outs[i] = rng.Intn(4) != 0
+	}
+	return pcs, outs
+}
+
+func benchPredictor(b *testing.B, p Predictor) {
+	pcs, outs := benchStream(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 4095
+		p.Predict(pcs[k])
+		p.Update(pcs[k], outs[k])
+	}
+}
+
+func BenchmarkBimodal(b *testing.B)    { benchPredictor(b, NewBimodal(4096)) }
+func BenchmarkGShare(b *testing.B)     { benchPredictor(b, NewGShare(4096, 12)) }
+func BenchmarkTournament(b *testing.B) { benchPredictor(b, NewDefaultTournament()) }
+
+func BenchmarkBTB(b *testing.B) {
+	btb := NewBTB(1024)
+	pcs, _ := benchStream(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & 4095
+		if _, hit := btb.Lookup(pcs[k]); !hit {
+			btb.Insert(pcs[k], pcs[k]+64)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// trainAccuracy runs a predictor over a generated outcome stream and returns
+// the fraction of correct predictions.
+func trainAccuracy(p Predictor, outcomes []bool, pcs []uint64) float64 {
+	correct := 0
+	for i, taken := range outcomes {
+		if p.Predict(pcs[i]) == taken {
+			correct++
+		}
+		p.Update(pcs[i], taken)
+	}
+	return float64(correct) / float64(len(outcomes))
+}
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Errorf("counter must saturate at 0, got %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter must saturate at 3, got %d", c)
+	}
+	if !c.taken() {
+		t.Error("saturated-up counter must predict taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(256)
+	pc := uint64(0x4000)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal must learn an always-taken branch")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal must re-learn an always-not-taken branch")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	b := NewBimodal(4)
+	// PCs 16 apart with a 4-entry table alias to the same counter.
+	b.Update(0x10, false)
+	b.Update(0x10, false)
+	b.Update(0x10, false)
+	if b.Predict(0x10 + 4*4) {
+		t.Error("aliased PCs must share a counter")
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	g := NewGShare(4096, 10)
+	pc := uint64(0x1000)
+	// Alternating pattern T,N,T,N is invisible to bimodal but trivially
+	// captured by history-based prediction.
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		g.Update(pc, taken)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+	}
+	if correct < 95 {
+		t.Errorf("gshare on alternating pattern: %d/100 correct, want >= 95", correct)
+	}
+}
+
+func TestTournamentBeatsComponentsOnMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	pcs := make([]uint64, n)
+	outcomes := make([]bool, n)
+	// Mix: some strongly biased branches (good for bimodal/local) and one
+	// global-correlated branch.
+	hist := 0
+	for i := 0; i < n; i++ {
+		which := rng.Intn(3)
+		switch which {
+		case 0: // biased branch
+			pcs[i] = 0x100
+			outcomes[i] = rng.Float64() < 0.95
+		case 1: // loop-pattern branch: taken 7 of 8
+			pcs[i] = 0x200
+			outcomes[i] = i%8 != 0
+		default: // correlated with recent history parity
+			pcs[i] = 0x300
+			outcomes[i] = hist%2 == 0
+		}
+		if outcomes[i] {
+			hist++
+		}
+	}
+	tourn := trainAccuracy(NewDefaultTournament(), outcomes, pcs)
+	bim := trainAccuracy(NewBimodal(1024), outcomes, pcs)
+	if tourn < bim-0.01 {
+		t.Errorf("tournament (%.3f) should not be clearly worse than bimodal (%.3f)", tourn, bim)
+	}
+	if tourn < 0.75 {
+		t.Errorf("tournament accuracy %.3f unexpectedly low", tourn)
+	}
+}
+
+func TestTournamentLocalComponent(t *testing.T) {
+	// A per-branch periodic pattern is a local-history specialty.
+	tr := NewDefaultTournament()
+	pc := uint64(0x40)
+	for i := 0; i < 5000; i++ {
+		tr.Update(pc, i%4 == 0)
+	}
+	correct := 0
+	for i := 5000; i < 5200; i++ {
+		want := i%4 == 0
+		if tr.Predict(pc) == want {
+			correct++
+		}
+		tr.Update(pc, want)
+	}
+	if correct < 180 {
+		t.Errorf("tournament on periodic branch: %d/200, want >= 180", correct)
+	}
+}
+
+func TestStaticPredictor(t *testing.T) {
+	st := &Static{Taken: true}
+	if !st.Predict(0x1234) {
+		t.Error("static-taken must predict taken")
+	}
+	st.Update(0x1234, false) // must not change anything
+	if !st.Predict(0x1234) {
+		t.Error("static predictor must ignore updates")
+	}
+	snt := &Static{}
+	if snt.Predict(0) {
+		t.Error("static-not-taken must predict not taken")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Predictor{
+		NewBimodal(64), NewGShare(64, 6), NewDefaultTournament(),
+		&Static{Taken: true}, &Static{},
+	} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(16)
+	if _, hit := b.Lookup(0x500); hit {
+		t.Error("empty BTB must miss")
+	}
+	b.Insert(0x500, 0x900)
+	tgt, hit := b.Lookup(0x500)
+	if !hit || tgt != 0x900 {
+		t.Errorf("BTB lookup = (%#x,%v), want (0x900,true)", tgt, hit)
+	}
+	// Conflicting PC evicts.
+	b.Insert(0x500+16*4, 0xA00)
+	if _, hit := b.Lookup(0x500); hit {
+		t.Error("direct-mapped conflict must evict")
+	}
+	if b.HitRate() <= 0 || b.HitRate() >= 1 {
+		t.Errorf("hit rate %v should be strictly between 0 and 1 here", b.HitRate())
+	}
+}
+
+func TestBTBEmptyHitRate(t *testing.T) {
+	if NewBTB(8).HitRate() != 0 {
+		t.Error("no-lookup hit rate must be 0")
+	}
+}
+
+func TestCheckPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size must panic")
+		}
+	}()
+	NewBimodal(100)
+}
+
+// Property: whatever the update sequence, predictors always return a
+// deterministic bool and never panic for power-of-two tables.
+func TestPredictorRobustnessProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		preds := []Predictor{
+			NewBimodal(64),
+			NewGShare(64, 8),
+			NewTournament(64, 64, 256, 8, 6),
+		}
+		for i := 0; i < int(n); i++ {
+			pc := rng.Uint64() & 0xFFFF
+			taken := rng.Intn(2) == 0
+			for _, p := range preds {
+				p.Predict(pc)
+				p.Update(pc, taken)
+			}
+		}
+		// Determinism: same pc twice without update in between gives the
+		// same prediction.
+		pc := rng.Uint64()
+		for _, p := range preds {
+			if p.Predict(pc) != p.Predict(pc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a fully biased branch stream converges to >= 90% accuracy for
+// every adaptive predictor.
+func TestBiasedStreamAccuracyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := rng.Intn(2) == 0
+		n := 2000
+		pcs := make([]uint64, n)
+		outs := make([]bool, n)
+		for i := range pcs {
+			pcs[i] = uint64(rng.Intn(32)) * 4
+			outs[i] = dir
+		}
+		for _, p := range []Predictor{NewBimodal(256), NewGShare(1024, 8), NewDefaultTournament()} {
+			if trainAccuracy(p, outs, pcs) < 0.9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package bpred
+
+import "testing"
+
+func TestStoreWaitTrainAndQuery(t *testing.T) {
+	s := NewStoreWait(64, 1000)
+	pc := uint64(0x400)
+	if s.ShouldWait(pc) {
+		t.Error("untrained load must not wait")
+	}
+	s.Train(pc)
+	if !s.ShouldWait(pc) {
+		t.Error("trained load must wait")
+	}
+	if s.Trains() != 1 {
+		t.Errorf("trains = %d", s.Trains())
+	}
+	// Aliasing: PCs table-size*4 apart share a bit.
+	if !s.ShouldWait(pc + 64*4) {
+		t.Error("aliased PC must share the bit")
+	}
+}
+
+func TestStoreWaitPeriodicClear(t *testing.T) {
+	s := NewStoreWait(64, 100)
+	s.Train(0x80)
+	s.Tick(99)
+	if !s.ShouldWait(0x80) {
+		t.Error("bit must survive before the interval")
+	}
+	s.Tick(100)
+	if s.ShouldWait(0x80) {
+		t.Error("bit must clear at the interval")
+	}
+	if s.Clears() != 1 {
+		t.Errorf("clears = %d", s.Clears())
+	}
+	// Next clear is a full interval later.
+	s.Train(0x80)
+	s.Tick(150)
+	if !s.ShouldWait(0x80) {
+		t.Error("cleared too early")
+	}
+	s.Tick(200)
+	if s.ShouldWait(0x80) {
+		t.Error("second clear missed")
+	}
+}
+
+func TestStoreWaitBadIntervalClamped(t *testing.T) {
+	s := NewStoreWait(8, 0) // clamps to 1
+	s.Train(0)
+	s.Tick(1)
+	if s.ShouldWait(0) {
+		t.Error("interval clamp failed")
+	}
+}
+
+func TestStoreWaitSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two must panic")
+		}
+	}()
+	NewStoreWait(7, 100)
+}

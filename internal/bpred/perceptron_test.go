@@ -1,0 +1,103 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	p := NewDefaultPerceptron()
+	pc := uint64(0x900)
+	for i := 0; i < 200; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("perceptron must learn a biased branch")
+	}
+}
+
+func TestPerceptronLearnsLongCorrelation(t *testing.T) {
+	// Outcome equals the outcome 20 branches ago — far beyond a 2-bit
+	// counter's reach, linear and learnable for a perceptron.
+	p := NewDefaultPerceptron()
+	pc := uint64(0x40)
+	var past []bool
+	rng := rand.New(rand.NewSource(3))
+	outcome := func(i int) bool {
+		if i < 20 {
+			return rng.Intn(2) == 0
+		}
+		return past[i-20]
+	}
+	for i := 0; i < 4000; i++ {
+		o := outcome(i)
+		past = append(past, o)
+		p.Update(pc, o)
+	}
+	correct := 0
+	for i := 4000; i < 4400; i++ {
+		o := outcome(i)
+		past = append(past, o)
+		if p.Predict(pc) == o {
+			correct++
+		}
+		p.Update(pc, o)
+	}
+	if correct < 360 { // 90%
+		t.Errorf("perceptron on 20-back correlation: %d/400 correct", correct)
+	}
+}
+
+func TestPerceptronBeatsBimodalOnCorrelation(t *testing.T) {
+	n := 8000
+	pcs := make([]uint64, n)
+	outs := make([]bool, n)
+	hist := make([]bool, 0, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		pcs[i] = 0x100
+		var o bool
+		if i < 12 {
+			o = rng.Intn(2) == 0
+		} else {
+			o = hist[i-12] != hist[i-7] // XOR of two past outcomes
+		}
+		outs[i] = o
+		hist = append(hist, o)
+	}
+	perc := trainAccuracy(NewDefaultPerceptron(), outs, pcs)
+	bim := trainAccuracy(NewBimodal(1024), outs, pcs)
+	// XOR is not linearly separable, so the perceptron will not ace it,
+	// but it must not be worse than bimodal's coin flip.
+	if perc < bim-0.05 {
+		t.Errorf("perceptron %.3f clearly worse than bimodal %.3f", perc, bim)
+	}
+}
+
+func TestPerceptronWeightsStayClamped(t *testing.T) {
+	p := NewPerceptron(8, 8)
+	pc := uint64(0)
+	for i := 0; i < 10_000; i++ {
+		p.Update(pc, true)
+	}
+	for _, w := range p.weights[p.index(pc)] {
+		if w > 127 || w < -128 {
+			t.Fatalf("weight %d out of 8-bit range", w)
+		}
+	}
+	if !p.Predict(pc) {
+		t.Error("saturated perceptron must still predict taken")
+	}
+}
+
+func TestPerceptronName(t *testing.T) {
+	if NewDefaultPerceptron().Name() != "perceptron" {
+		t.Error("name wrong")
+	}
+}
+
+func TestPerceptronHistLenClamp(t *testing.T) {
+	p := NewPerceptron(8, 0) // clamps to 1
+	p.Update(0, true)
+	_ = p.Predict(0)
+}

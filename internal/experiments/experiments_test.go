@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment tests fast; statistical shape assertions use
+// QuickOptions where they need more signal.
+func tinyOptions() Options {
+	return Options{Measure: 10_000, Warmup: 10_000, Seed: 1}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   []Row{{Label: "gcc", Values: []float64{1, 0.5}}},
+		Notes:  "note",
+	}
+	out := tb.String()
+	for _, want := range []string{"demo", "gcc", "note", "benchmark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Find("gcc") == nil || tb.Find("nope") != nil {
+		t.Error("Find broken")
+	}
+	if tb.Rows[0].Value(1) != 0.5 {
+		t.Error("Value broken")
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	tab, err := Fig6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty Figure 6")
+	}
+	// CDF rows must be monotonically non-decreasing and end near the top.
+	prev := 0.0
+	for _, r := range tab.Rows {
+		v := r.Value(0)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF decreases at %s: %v < %v", r.Label, v, prev)
+		}
+		prev = v
+	}
+	if prev < 0.5 {
+		t.Errorf("CDF tail %.3f unexpectedly low", prev)
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	tab, err := Fig4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("Figure 4 rows = %d, want 13", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 4 {
+			t.Fatalf("%s has %d points, want 4", r.Label, len(r.Values))
+		}
+		if r.Values[0] != 1.0 {
+			t.Errorf("%s baseline not normalised: %v", r.Label, r.Values[0])
+		}
+	}
+	// Headline shape: every benchmark loses performance at 18 cycles, and
+	// branchy gcc loses more than memory-bound hydro.
+	gcc, hydro := tab.Find("gcc"), tab.Find("hydro")
+	if gcc.Values[3] >= 1.0 {
+		t.Errorf("gcc must lose at 18 cycles, got %.3f", gcc.Values[3])
+	}
+	if gcc.Values[3] >= hydro.Values[3] {
+		t.Errorf("gcc (%.3f) must lose more than hydro (%.3f)", gcc.Values[3], hydro.Values[3])
+	}
+}
+
+func TestFig8Structure(t *testing.T) {
+	tab, err := Fig8(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("Figure 8 rows = %d", len(tab.Rows))
+	}
+	swim := tab.Find("swim")
+	if swim == nil || len(swim.Values) != 3 {
+		t.Fatal("swim row malformed")
+	}
+	if swim.Values[2] <= 1.0 {
+		t.Errorf("swim DRA:9_3 must beat base:5_9, got %.3f", swim.Values[2])
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	tab, err := Fig9(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		pr, fw, crc, missPct := r.Values[0], r.Values[1], r.Values[2], r.Values[3]
+		sum := pr + fw + crc + missPct/100
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s operand shares sum to %v", r.Label, sum)
+		}
+		if fw < 0.3 {
+			t.Errorf("%s forwarding share %.3f implausibly low", r.Label, fw)
+		}
+	}
+	// apsi must have the worst miss rate of the suite.
+	apsi := tab.Find("apsi")
+	for _, r := range tab.Rows {
+		if r.Label != "apsi" && r.Label != "apsi-swim" && r.Values[3] > apsi.Values[3] {
+			t.Errorf("%s miss %.3f%% exceeds apsi %.3f%%", r.Label, r.Values[3], apsi.Values[3])
+		}
+	}
+}
+
+func TestAblationRecoveryStructure(t *testing.T) {
+	tab, err := AblationLoadRecovery(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	swim := tab.Find("swim")
+	if swim == nil {
+		t.Fatal("swim missing")
+	}
+	if swim.Values[0] != 1.0 {
+		t.Error("reissue column must be the baseline")
+	}
+	if swim.Values[1] >= 1.0 {
+		t.Errorf("refetch must lose to reissue on swim, got %.3f", swim.Values[1])
+	}
+}
+
+func TestAblationCRCStructure(t *testing.T) {
+	tab, err := AblationCRC(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Find("apsi") == nil || len(tab.Find("apsi").Values) != 6 {
+		t.Fatal("CRC ablation malformed")
+	}
+	// Baseline column (16e/2b) is index 2.
+	for _, r := range tab.Rows {
+		if r.Values[2] != 1.0 {
+			t.Errorf("%s baseline column not normalised", r.Label)
+		}
+	}
+}
+
+func TestAblationIQPressureStructure(t *testing.T) {
+	tab, err := AblationIQPressure(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		// Retained population must grow with IQ-EX latency.
+		if r.Values[7] <= r.Values[4] {
+			t.Errorf("%s retained must grow with IQ-EX: %v", r.Label, r.Values[4:])
+		}
+	}
+}
+
+func TestAblationCRCPolicyStructure(t *testing.T) {
+	tab, err := AblationCRCPolicy(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] != 1.0 {
+			t.Errorf("%s FIFO baseline not normalised", r.Label)
+		}
+		// The paper's claim: smarter replacement buys little. Allow noise
+		// but catch gross divergence.
+		if r.Values[1] < 0.85 || r.Values[1] > 1.15 {
+			t.Errorf("%s LRU vs FIFO = %.3f; expected near parity", r.Label, r.Values[1])
+		}
+	}
+}
+
+func TestAblationMonolithicStructure(t *testing.T) {
+	tab, err := AblationMonolithic(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] != 1.0 {
+			t.Errorf("%s clustered baseline not normalised", r.Label)
+		}
+		// A single 16-entry cache must raise the operand miss rate over
+		// the 8x16 clustered arrangement.
+		if r.Values[5] < r.Values[4] {
+			t.Errorf("%s mono16 miss %.3f%% below clustered %.3f%%", r.Label, r.Values[5], r.Values[4])
+		}
+	}
+}
+
+func TestLoopDelayCheck(t *testing.T) {
+	tab := LoopDelayCheck()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Value(0) != 8 {
+		t.Errorf("base load loop delay = %v, want 8 (paper Section 2.2.2)", tab.Rows[0].Value(0))
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	if o := DefaultOptions(); o.Measure == 0 || o.Warmup == 0 {
+		t.Error("default options empty")
+	}
+	if o := QuickOptions(); o.Measure >= DefaultOptions().Measure {
+		t.Error("quick options must be shorter than default")
+	}
+}

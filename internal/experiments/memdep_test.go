@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestAblationMemDepStructure(t *testing.T) {
+	// The store-wait-vs-blind trap comparison needs training time, so this
+	// test runs longer than the tiny structural checks.
+	opt := tinyOptions()
+	opt.Warmup, opt.Measure = 40_000, 40_000
+	tab, err := AblationMemDep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] != 1.0 {
+			t.Errorf("%s store-wait baseline not normalised", r.Label)
+		}
+		// Conservative ordering must lose badly everywhere.
+		if r.Values[2] > 0.9 {
+			t.Errorf("%s conservative = %.3f; expected a large loss", r.Label, r.Values[2])
+		}
+		// Conservative never traps.
+		if r.Values[5] != 0 {
+			t.Errorf("%s conservative trapped %v times", r.Label, r.Values[5])
+		}
+		// Store-wait must not trap substantially more than blind (small
+		// runs leave some noise headroom).
+		if r.Values[3] > r.Values[4]*1.2+10 {
+			t.Errorf("%s store-wait traps (%v) far exceed blind (%v)", r.Label, r.Values[3], r.Values[4])
+		}
+	}
+}
+
+func TestAblationPredictorStructure(t *testing.T) {
+	tab, err := AblationPredictor(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] != 1.0 {
+			t.Errorf("%s tournament baseline not normalised", r.Label)
+		}
+		// Static prediction must mis-speculate far more than the
+		// tournament and cost accordingly.
+		if r.Values[9] <= r.Values[5] {
+			t.Errorf("%s static mispredict %.1f%% not above tournament %.1f%%", r.Label, r.Values[9], r.Values[5])
+		}
+		if r.Values[4] >= 0.95 {
+			t.Errorf("%s static speedup %.3f; expected a large loss", r.Label, r.Values[4])
+		}
+	}
+}

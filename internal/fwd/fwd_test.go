@@ -1,0 +1,103 @@
+package fwd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"loosesim/internal/regfile"
+)
+
+func TestAvailabilityWindow(t *testing.T) {
+	b := New(64, 9, 4)
+	p := regfile.PReg(10)
+	b.Record(p, 100)
+	if b.Available(p, 99) {
+		t.Error("value must not be available before completion")
+	}
+	if !b.Available(p, 100) {
+		t.Error("value must be available at completion cycle")
+	}
+	if !b.Available(p, 108) {
+		t.Error("value must be available 8 cycles later (depth 9)")
+	}
+	if b.Available(p, 109) {
+		t.Error("value must age out after depth cycles")
+	}
+}
+
+func TestUnrecordedAndInvalidRegisters(t *testing.T) {
+	b := New(64, 9, 4)
+	if b.Available(regfile.PReg(3), 50) {
+		t.Error("unrecorded register must miss")
+	}
+	if b.Available(regfile.PRegInvalid, 50) {
+		t.Error("PRegInvalid must miss")
+	}
+	b.Record(regfile.PRegInvalid, 10) // must not panic
+}
+
+func TestInvalidate(t *testing.T) {
+	b := New(64, 9, 4)
+	p := regfile.PReg(5)
+	b.Record(p, 20)
+	b.Invalidate(p)
+	if b.Available(p, 21) {
+		t.Error("invalidated entry must miss")
+	}
+	b.Invalidate(regfile.PRegInvalid) // no-op
+}
+
+func TestRerecordRefreshesWindow(t *testing.T) {
+	b := New(64, 9, 4)
+	p := regfile.PReg(7)
+	b.Record(p, 10)
+	b.Record(p, 30)
+	if b.Available(p, 19) {
+		t.Error("old completion must be superseded")
+	}
+	if !b.Available(p, 31) {
+		t.Error("new completion must be visible")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New(16, 9, 4)
+	p := regfile.PReg(1)
+	b.Record(p, 0)
+	b.Available(p, 1)  // hit
+	b.Available(p, 50) // miss
+	if b.Hits() != 1 || b.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", b.Hits(), b.Misses())
+	}
+}
+
+func TestWritebackCycle(t *testing.T) {
+	b := New(16, 9, 4)
+	if b.WritebackCycle(100) != 104 {
+		t.Errorf("WritebackCycle(100) = %d, want 104", b.WritebackCycle(100))
+	}
+	if b.Depth() != 9 || b.WritebackDelay() != 4 {
+		t.Error("accessor mismatch")
+	}
+}
+
+// Property: Available(p, now) is true exactly when now is within
+// [complete, complete+depth) of the last Record, for any depth >= 1.
+func TestWindowProperty(t *testing.T) {
+	f := func(complete int64, offset int16, depthRaw uint8) bool {
+		depth := int(depthRaw%20) + 1
+		b := New(8, depth, 4)
+		p := regfile.PReg(2)
+		c := complete % (1 << 40)
+		if c < 0 {
+			c = -c
+		}
+		b.Record(p, c)
+		now := c + int64(offset)
+		want := now >= c && now-c < int64(depth)
+		return b.Available(p, now) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

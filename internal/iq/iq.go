@@ -1,0 +1,178 @@
+// Package iq models the unified, clustered instruction queue of the base
+// machine (paper Section 2): a 128-entry window whose entries are slotted at
+// decode to one of eight functional-unit clusters, so that selecting 8
+// instructions out of 128 reduces to selecting 1 out of ~16 per cluster.
+//
+// The IQ is where the load resolution loop exerts its secondary cost, IQ
+// pressure (Section 2.2.2): issued instructions must be *retained* until the
+// execution stage confirms they will not be reissued, which takes the loop
+// delay (IQ-EX latency plus feedback). Entries of issued-but-unconfirmed
+// instructions are dead weight that shrinks the effective window.
+package iq
+
+import (
+	"fmt"
+
+	"loosesim/internal/uop"
+)
+
+// Config sizes the queue.
+type Config struct {
+	// Entries is the total queue capacity (128 in the base machine).
+	Entries int
+	// Clusters is the number of functional-unit clusters instructions are
+	// slotted across (8 in the base machine).
+	Clusters int
+}
+
+// Queue is the clustered instruction queue. Each cluster's list is kept in
+// age order; age order across clusters is preserved by the global Seq.
+type Queue struct {
+	cfg       Config
+	byCluster [][]*uop.UOp
+	count     int
+
+	inserted     uint64
+	occupancySum uint64
+	retainedSum  uint64
+	samples      uint64
+	fullStalls   uint64
+}
+
+// New returns an empty queue.
+func New(cfg Config) *Queue {
+	if cfg.Entries < 1 || cfg.Clusters < 1 {
+		panic(fmt.Sprintf("iq: bad config %+v", cfg))
+	}
+	return &Queue{cfg: cfg, byCluster: make([][]*uop.UOp, cfg.Clusters)}
+}
+
+// Config returns the queue configuration.
+func (q *Queue) Config() Config { return q.cfg }
+
+// Len returns the number of occupied entries.
+func (q *Queue) Len() int { return q.count }
+
+// Free returns the number of unoccupied entries.
+func (q *Queue) Free() int { return q.cfg.Entries - q.count }
+
+// Full reports whether the queue has no free entries.
+func (q *Queue) Full() bool { return q.count >= q.cfg.Entries }
+
+// ClusterLen returns the number of entries slotted to cluster c.
+func (q *Queue) ClusterLen(c int) int { return len(q.byCluster[c]) }
+
+// LeastLoadedCluster returns the cluster with the fewest queue entries,
+// breaking ties toward lower indices. This is the decode-time slotting
+// policy: it approximates the uniform distribution the paper assumes.
+func (q *Queue) LeastLoadedCluster() int {
+	best := 0
+	for c := 1; c < q.cfg.Clusters; c++ {
+		if len(q.byCluster[c]) < len(q.byCluster[best]) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Insert places u (already slotted to u.Cluster) into the queue. It returns
+// false, counting a structural stall, if the queue is full.
+func (q *Queue) Insert(u *uop.UOp) bool {
+	if q.Full() {
+		q.fullStalls++
+		return false
+	}
+	if u.Cluster < 0 || u.Cluster >= q.cfg.Clusters {
+		panic(fmt.Sprintf("iq: uop %v has bad cluster", u))
+	}
+	if u.InIQ {
+		panic(fmt.Sprintf("iq: duplicate insert of %v", u))
+	}
+	q.byCluster[u.Cluster] = append(q.byCluster[u.Cluster], u)
+	q.count++
+	q.inserted++
+	u.InIQ = true
+	return true
+}
+
+// Remove releases u's entry (retire-side eviction or squash).
+func (q *Queue) Remove(u *uop.UOp) {
+	if !u.InIQ {
+		return
+	}
+	list := q.byCluster[u.Cluster]
+	for i, e := range list {
+		if e == u {
+			q.byCluster[u.Cluster] = append(list[:i], list[i+1:]...)
+			q.count--
+			u.InIQ = false
+			return
+		}
+	}
+	panic(fmt.Sprintf("iq: %v marked InIQ but not found", u))
+}
+
+// SelectOldestReady returns the oldest waiting instruction in cluster c for
+// which ready returns true, or nil. It models the per-cluster select logic
+// (one issue per cluster per cycle).
+func (q *Queue) SelectOldestReady(c int, ready func(*uop.UOp) bool) *uop.UOp {
+	for _, u := range q.byCluster[c] {
+		if u.State == uop.StateWaiting && ready(u) {
+			return u
+		}
+	}
+	return nil
+}
+
+// ForEach visits every queue entry in cluster-major, age-minor order.
+func (q *Queue) ForEach(f func(*uop.UOp)) {
+	for _, list := range q.byCluster {
+		for _, u := range list {
+			f(u)
+		}
+	}
+}
+
+// Retained returns the number of entries held by instructions that have
+// issued (or completed) but whose entries have not yet been reclaimed —
+// the IQ-pressure population.
+func (q *Queue) Retained() int {
+	n := 0
+	q.ForEach(func(u *uop.UOp) {
+		if u.State == uop.StateIssued || u.State == uop.StateDone {
+			n++
+		}
+	})
+	return n
+}
+
+// Sample records one cycle's occupancy for the pressure statistics.
+func (q *Queue) Sample() {
+	q.samples++
+	q.occupancySum += uint64(q.count)
+	q.retainedSum += uint64(q.Retained())
+}
+
+// MeanOccupancy returns the average sampled occupancy.
+func (q *Queue) MeanOccupancy() float64 {
+	if q.samples == 0 {
+		return 0
+	}
+	return float64(q.occupancySum) / float64(q.samples)
+}
+
+// MeanRetained returns the average sampled count of issued-but-retained
+// entries — the paper's "already issued instructions ... waiting for the
+// load to resolve" population.
+func (q *Queue) MeanRetained() float64 {
+	if q.samples == 0 {
+		return 0
+	}
+	return float64(q.retainedSum) / float64(q.samples)
+}
+
+// FullStalls returns the number of rejected inserts.
+func (q *Queue) FullStalls() uint64 { return q.fullStalls }
+
+// Inserted returns the number of successful inserts.
+func (q *Queue) Inserted() uint64 { return q.inserted }

@@ -1,0 +1,169 @@
+// Package isa defines the architectural instruction representation consumed
+// by the pipeline model: operation classes, architectural registers, and the
+// static instruction record produced by the workload generators.
+//
+// The model is deliberately ISA-neutral. The paper evaluates Alpha binaries,
+// but every result in it depends only on instruction *classes* (integer ALU,
+// floating point, load, store, branch), their execution latencies, and the
+// register dependences between instructions — all of which this package
+// captures without committing to Alpha encodings.
+package isa
+
+import "fmt"
+
+// OpClass identifies the functional class of an instruction. The class
+// determines the execution latency and which micro-architectural loops the
+// instruction can generate (branches generate the branch resolution loop,
+// loads the load resolution loop).
+type OpClass uint8
+
+// Operation classes. Latencies follow the base machine of the paper's
+// Section 2: single-cycle integer operations, multi-cycle floating point,
+// and loads whose latency is determined by the cache hierarchy.
+const (
+	// Nop performs no work and writes no register. It exists so the
+	// generator can pad streams and so tests can build trivial programs.
+	Nop OpClass = iota
+	// IntALU is a single-cycle integer operation (add, logical, shift).
+	IntALU
+	// IntMul is a multi-cycle integer multiply.
+	IntMul
+	// FPAdd is a pipelined floating-point add/subtract/compare.
+	FPAdd
+	// FPMul is a pipelined floating-point multiply.
+	FPMul
+	// FPDiv is a long-latency floating-point divide.
+	FPDiv
+	// Load reads memory into a register. Its latency is non-deterministic:
+	// the cache hierarchy decides it at execute time, which is exactly what
+	// creates the load resolution loop.
+	Load
+	// Store writes a register to memory. It computes its address in one
+	// cycle and produces no register result.
+	Store
+	// Branch is a conditional branch resolved at execute.
+	Branch
+
+	numOpClasses
+)
+
+// NumOpClasses is the count of distinct operation classes.
+const NumOpClasses = int(numOpClasses)
+
+var opNames = [...]string{
+	Nop:    "nop",
+	IntALU: "ialu",
+	IntMul: "imul",
+	FPAdd:  "fadd",
+	FPMul:  "fmul",
+	FPDiv:  "fdiv",
+	Load:   "load",
+	Store:  "store",
+	Branch: "branch",
+}
+
+// String returns the conventional mnemonic for the class.
+func (c OpClass) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("opclass(%d)", uint8(c))
+}
+
+// Execution latencies in cycles for deterministic-latency classes. Load
+// latency is decided by the memory hierarchy and is therefore not listed
+// here; Latency returns the address-generation cycle for memory operations.
+var opLatency = [...]int{
+	Nop:    1,
+	IntALU: 1,
+	IntMul: 7,
+	FPAdd:  4,
+	FPMul:  4,
+	FPDiv:  16,
+	Load:   1, // address generation; data latency comes from the caches
+	Store:  1,
+	Branch: 1,
+}
+
+// Latency returns the fixed execution latency of the class in cycles.
+// For Load this is only the address-generation component; the data latency
+// is supplied by the memory hierarchy at execute time.
+func (c OpClass) Latency() int {
+	if int(c) < len(opLatency) {
+		return opLatency[c]
+	}
+	return 1
+}
+
+// WritesReg reports whether instructions of this class produce a register
+// result that later instructions may consume.
+func (c OpClass) WritesReg() bool {
+	switch c {
+	case Nop, Store, Branch:
+		return false
+	}
+	return true
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c OpClass) IsMem() bool { return c == Load || c == Store }
+
+// IsFP reports whether the class executes on the floating-point side.
+func (c OpClass) IsFP() bool { return c == FPAdd || c == FPMul || c == FPDiv }
+
+// Reg names an architectural register. The model uses a flat namespace of
+// NumArchRegs registers per thread; the generator reserves a few low
+// registers as long-lived "global" registers (stack pointer, global pointer)
+// which tend to become the paper's completed operands.
+type Reg uint16
+
+// RegInvalid marks an absent operand (an instruction with fewer than two
+// sources, or no destination).
+const RegInvalid Reg = 0xFFFF
+
+// NumArchRegs is the size of the architectural register file per thread
+// (32 integer + 32 floating point, as on Alpha).
+const NumArchRegs = 64
+
+// NumGlobalRegs is the number of low-numbered registers the workload
+// generator treats as long-lived globals. Reads of these usually find the
+// value already in the register file — the paper's completed operands.
+const NumGlobalRegs = 4
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r != RegInvalid && r < NumArchRegs }
+
+// Inst is a static instruction as produced by a workload generator. It is
+// the unit the fetch stage consumes; the pipeline wraps it in a dynamic
+// instruction (uop.UOp) carrying renamed registers and timing state.
+type Inst struct {
+	// PC is the instruction's address, used by the branch predictor.
+	PC uint64
+	// Op is the operation class.
+	Op OpClass
+	// Dest is the destination architectural register, or RegInvalid.
+	Dest Reg
+	// Src holds up to two source architectural registers; unused slots
+	// are RegInvalid.
+	Src [2]Reg
+	// Addr is the effective address for Load/Store instructions.
+	Addr uint64
+	// Taken is the actual outcome for Branch instructions.
+	Taken bool
+}
+
+// NumSources returns how many valid source operands the instruction has.
+func (in *Inst) NumSources() int {
+	n := 0
+	for _, s := range in.Src {
+		if s.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the instruction for debugging.
+func (in *Inst) String() string {
+	return fmt.Sprintf("%s pc=%#x d=%d s=[%d %d]", in.Op, in.PC, in.Dest, in.Src[0], in.Src[1])
+}

@@ -1,0 +1,145 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		Nop:    "nop",
+		IntALU: "ialu",
+		IntMul: "imul",
+		FPAdd:  "fadd",
+		FPMul:  "fmul",
+		FPDiv:  "fdiv",
+		Load:   "load",
+		Store:  "store",
+		Branch: "branch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("OpClass(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := OpClass(200).String(); got != "opclass(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for c := OpClass(0); int(c) < NumOpClasses; c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%s latency = %d, want >= 1", c, c.Latency())
+		}
+	}
+	if OpClass(99).Latency() != 1 {
+		t.Errorf("unknown class latency should default to 1")
+	}
+}
+
+func TestSingleCycleInteger(t *testing.T) {
+	// The base machine supports back-to-back dependent integer ops, which
+	// requires single-cycle IntALU latency.
+	if IntALU.Latency() != 1 {
+		t.Fatalf("IntALU latency = %d, want 1", IntALU.Latency())
+	}
+}
+
+func TestFPLongerThanInt(t *testing.T) {
+	for _, c := range []OpClass{FPAdd, FPMul, FPDiv, IntMul} {
+		if c.Latency() <= IntALU.Latency() {
+			t.Errorf("%s latency %d should exceed IntALU latency", c, c.Latency())
+		}
+	}
+	if FPDiv.Latency() <= FPMul.Latency() {
+		t.Errorf("FPDiv should be the longest FP operation")
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	writes := map[OpClass]bool{
+		Nop: false, IntALU: true, IntMul: true, FPAdd: true, FPMul: true,
+		FPDiv: true, Load: true, Store: false, Branch: false,
+	}
+	for c, want := range writes {
+		if got := c.WritesReg(); got != want {
+			t.Errorf("%s.WritesReg() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestIsMemIsFP(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("Load/Store must be memory classes")
+	}
+	if IntALU.IsMem() || Branch.IsMem() {
+		t.Error("IntALU/Branch must not be memory classes")
+	}
+	if !FPAdd.IsFP() || !FPMul.IsFP() || !FPDiv.IsFP() {
+		t.Error("FP classes must report IsFP")
+	}
+	if IntALU.IsFP() || Load.IsFP() {
+		t.Error("integer classes must not report IsFP")
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	if RegInvalid.Valid() {
+		t.Error("RegInvalid must not be valid")
+	}
+	if !Reg(0).Valid() || !Reg(NumArchRegs-1).Valid() {
+		t.Error("in-range registers must be valid")
+	}
+	if Reg(NumArchRegs).Valid() {
+		t.Error("out-of-range register must be invalid")
+	}
+}
+
+func TestNumSources(t *testing.T) {
+	cases := []struct {
+		src  [2]Reg
+		want int
+	}{
+		{[2]Reg{RegInvalid, RegInvalid}, 0},
+		{[2]Reg{3, RegInvalid}, 1},
+		{[2]Reg{RegInvalid, 7}, 1},
+		{[2]Reg{3, 7}, 2},
+	}
+	for _, c := range cases {
+		in := Inst{Op: IntALU, Src: c.src}
+		if got := in.NumSources(); got != c.want {
+			t.Errorf("NumSources(%v) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{PC: 0x1000, Op: Load, Dest: 5, Src: [2]Reg{1, RegInvalid}}
+	if s := in.String(); s == "" {
+		t.Error("String must not be empty")
+	}
+}
+
+// Property: NumSources is always between 0 and 2 regardless of register
+// contents.
+func TestNumSourcesRangeProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		in := Inst{Src: [2]Reg{Reg(a), Reg(b)}}
+		n := in.NumSources()
+		return n >= 0 && n <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a register is valid iff it is in [0, NumArchRegs).
+func TestRegValidProperty(t *testing.T) {
+	f := func(r uint16) bool {
+		return Reg(r).Valid() == (r < NumArchRegs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchAddrs(n int, span uint64) []uint64 {
+	rng := rand.New(rand.NewSource(5))
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = rng.Uint64() % span
+	}
+	return addrs
+}
+
+func BenchmarkL1Access(b *testing.B) {
+	c := NewCache(DefaultHierConfig().L1)
+	addrs := benchAddrs(4096, 256<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095])
+	}
+}
+
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h := NewHierarchy(DefaultHierConfig())
+	addrs := benchAddrs(4096, 4<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(addrs[i&4095], int64(i/4))
+	}
+}
+
+func BenchmarkTLBAccess(b *testing.B) {
+	t := NewTLB(128, 8<<10)
+	addrs := benchAddrs(4096, 2<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(addrs[i&4095])
+	}
+}

@@ -1,0 +1,278 @@
+// Package pipeline is the cycle-level model of the paper's base machine
+// (Section 2) and of the DRA machine built on it (Sections 4–6): an 8-wide,
+// clustered, SMT, out-of-order processor with a 128-entry unified
+// instruction queue, load-hit speculation with reissue recovery, a 9-cycle
+// forwarding buffer, and a configurable decode→IQ (DEC-IQ) and IQ→execute
+// (IQ-EX) latency split. All three of the paper's loose loops — branch
+// resolution, load resolution, and (with the DRA) operand resolution — arise
+// mechanically from the model.
+package pipeline
+
+import (
+	"fmt"
+
+	"loosesim/internal/core"
+	"loosesim/internal/mem"
+	"loosesim/internal/workload"
+)
+
+// LoadRecovery selects how the machine manages the load resolution loop
+// (paper Section 2.2.2).
+type LoadRecovery int
+
+const (
+	// LoadReissue speculates that loads hit and reissues the issued part
+	// of the load dependency tree from the IQ on a mis-speculation — the
+	// base machine's policy.
+	LoadReissue LoadRecovery = iota
+	// LoadRefetch speculates that loads hit but recovers at the fetch
+	// stage: the pipeline behind the load is flushed and refetched. The
+	// paper reports this performs significantly worse than reissue.
+	LoadRefetch
+	// LoadStall never speculates: dependents wait in the IQ until the
+	// load's latency is known and the data is available, adding the
+	// feedback and issue latency to every load-to-use.
+	LoadStall
+)
+
+var loadRecoveryNames = [...]string{"reissue", "refetch", "stall"}
+
+// String names the policy.
+func (p LoadRecovery) String() string {
+	if int(p) < len(loadRecoveryNames) {
+		return loadRecoveryNames[p]
+	}
+	return fmt.Sprintf("loadrecovery(%d)", int(p))
+}
+
+// MemDepPolicy selects how the machine manages the memory dependence loop
+// (Figure 2's load/store reorder trap loop): may a load issue past older
+// stores whose addresses are still unknown?
+type MemDepPolicy int
+
+const (
+	// MemDepStoreWait speculates by default but trains a store-wait bit
+	// for loads caught violating memory order, making them wait next
+	// time — the Alpha 21264 policy.
+	MemDepStoreWait MemDepPolicy = iota
+	// MemDepBlind always lets loads issue past unresolved stores; every
+	// violation costs a trap.
+	MemDepBlind
+	// MemDepConservative makes every load wait until all older stores
+	// have resolved their addresses; no violations, much less overlap.
+	MemDepConservative
+)
+
+var memDepNames = [...]string{"storewait", "blind", "conservative"}
+
+// String names the policy.
+func (p MemDepPolicy) String() string {
+	if int(p) < len(memDepNames) {
+		return memDepNames[p]
+	}
+	return fmt.Sprintf("memdep(%d)", int(p))
+}
+
+// PredictorKind selects the branch direction predictor.
+type PredictorKind string
+
+// Supported predictor kinds.
+const (
+	PredTournament PredictorKind = "tournament"
+	PredBimodal    PredictorKind = "bimodal"
+	PredGShare     PredictorKind = "gshare"
+	PredStatic     PredictorKind = "static-taken"
+	PredPerceptron PredictorKind = "perceptron"
+)
+
+// Config fully describes one simulation.
+type Config struct {
+	// Workload supplies one profile per hardware thread.
+	Workload workload.Workload
+	// Seed makes the run deterministic.
+	Seed int64
+
+	// Machine widths.
+	FetchWidth  int // instructions fetched per cycle (8)
+	RenameWidth int // instructions renamed/inserted per cycle (8)
+	RetireWidth int // instructions retired per cycle (8)
+
+	// Window sizes.
+	IQEntries   int // unified instruction queue capacity (128)
+	Clusters    int // functional-unit clusters, 1 issue each per cycle (8)
+	MaxInFlight int // maximum instructions in flight (256)
+	NumPhysRegs int // physical register file size (512)
+
+	// Pipeline latencies (cycles). The paper's headline parameters:
+	// DEC-IQ is decode through IQ insertion; IQ-EX is issue through
+	// operand delivery at the functional units; RegReadLat is the
+	// register file access within whichever path performs it.
+	DecIQLat      int
+	IQExLat       int
+	RegReadLat    int
+	FeedbackDelay int // execute -> IQ notification (3)
+	BranchFBDelay int // branch resolve -> fetch redirect (1)
+
+	// IQEvictDelay is the extra cycles needed to clear an IQ entry after
+	// it is tagged for eviction (Section 2.2.2: "Once an instruction is
+	// tagged for eviction from the IQ, extra cycles are needed to clear
+	// the entry").
+	IQEvictDelay int
+
+	// Forwarding buffer.
+	FwdDepth int // cycles results remain forwardable (9)
+	WBDelay  int // completion -> register file write (4)
+
+	// DRA. When UseDRA is set, operands are delivered via the paper's
+	// four paths (pre-read payload, forwarding buffer, CRC, miss
+	// recovery) and the operand resolution loop exists.
+	UseDRA bool
+	DRA    core.Config
+
+	// Load resolution loop policy.
+	LoadPolicy LoadRecovery
+
+	// Memory dependence loop policy, plus the store-wait predictor's
+	// geometry (used by MemDepStoreWait).
+	MemDep          MemDepPolicy
+	StoreWaitSize   int   // predictor entries (power of two)
+	StoreWaitClear  int64 // cycles between predictor resets
+	StoreForwardLat int   // load-to-use latency when forwarding from a store
+
+	// Memory system.
+	Mem mem.HierConfig
+	// TLBRefill is the extra latency added to a load that misses the TLB
+	// (on top of the trap recovery at fetch).
+	TLBRefill int
+
+	// Predictor selects the branch predictor model.
+	Predictor PredictorKind
+	// BTBEntries sizes the branch target buffer used by the next-address
+	// loop; predicted-taken branches that miss the BTB cost a fetch
+	// bubble.
+	BTBEntries int
+	// BTBMissBubble is the fetch-stall, in cycles, for a predicted-taken
+	// branch whose target is not in the BTB.
+	BTBMissBubble int
+
+	// Run lengths, in retired correct-path instructions (all threads).
+	WarmupInstructions  uint64
+	MeasureInstructions uint64
+
+	// Tracer, when non-nil, receives one record per retired instruction
+	// (a pipeline-viewer stream). Tracing does not perturb timing.
+	Tracer *Tracer
+}
+
+// DefaultConfig returns the paper's base machine running the given
+// workload: 8-wide SMT with a 128-entry IQ, 256 in flight, DEC-IQ = 5,
+// IQ-EX = 5 with a 3-cycle register file read, 9-cycle forwarding buffer,
+// and load-hit speculation with reissue recovery.
+func DefaultConfig(wl workload.Workload) Config {
+	return Config{
+		Workload:    wl,
+		Seed:        1,
+		FetchWidth:  8,
+		RenameWidth: 8,
+		RetireWidth: 8,
+		IQEntries:   128,
+		Clusters:    8,
+		MaxInFlight: 256,
+		NumPhysRegs: 512,
+
+		DecIQLat:      5,
+		IQExLat:       5,
+		RegReadLat:    3,
+		FeedbackDelay: 3,
+		BranchFBDelay: 1,
+
+		IQEvictDelay: 2,
+
+		FwdDepth: 9,
+		WBDelay:  4,
+
+		UseDRA: false,
+		DRA:    core.DefaultConfig(),
+
+		LoadPolicy: LoadReissue,
+
+		MemDep:          MemDepStoreWait,
+		StoreWaitSize:   4096,
+		StoreWaitClear:  131_072,
+		StoreForwardLat: 3,
+
+		Mem:       mem.DefaultHierConfig(),
+		TLBRefill: 30,
+
+		Predictor:     PredTournament,
+		BTBEntries:    1024,
+		BTBMissBubble: 2,
+
+		WarmupInstructions:  150_000,
+		MeasureInstructions: 300_000,
+	}
+}
+
+// BaseConfigRF returns the base (non-DRA) machine for a given register file
+// access latency, per the paper's Section 6 arithmetic: IQ-EX is the
+// register read plus one cycle of select and one of payload access.
+func BaseConfigRF(wl workload.Workload, regReadLat int) Config {
+	cfg := DefaultConfig(wl)
+	cfg.RegReadLat = regReadLat
+	cfg.DecIQLat = 5
+	cfg.IQExLat = 2 + regReadLat // 3 -> 5_5, 5 -> 5_7, 7 -> 5_9
+	return cfg
+}
+
+// DRAConfigRF returns the DRA machine for a given register file access
+// latency: the register read moves into the DEC-IQ path (which grows to
+// cover it once it exceeds the base 5 cycles) and IQ-EX shrinks to 3 — one
+// cycle each for select, payload, and the forwarding/CRC access.
+func DRAConfigRF(wl workload.Workload, regReadLat int) Config {
+	cfg := DefaultConfig(wl)
+	cfg.UseDRA = true
+	cfg.RegReadLat = regReadLat
+	cfg.IQExLat = 3
+	cfg.DecIQLat = 2 + regReadLat // rename results available after cycle 2
+	if cfg.DecIQLat < 5 {
+		cfg.DecIQLat = 5 // 3 -> 5_3, 5 -> 7_3, 7 -> 9_3
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if len(c.Workload.Threads) == 0 {
+		return fmt.Errorf("pipeline: no workload threads")
+	}
+	for _, p := range c.Workload.Threads {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"RenameWidth", c.RenameWidth}, {"RetireWidth", c.RetireWidth},
+		{"IQEntries", c.IQEntries}, {"Clusters", c.Clusters}, {"MaxInFlight", c.MaxInFlight},
+		{"DecIQLat", c.DecIQLat}, {"IQExLat", c.IQExLat}, {"RegReadLat", c.RegReadLat},
+		{"FeedbackDelay", c.FeedbackDelay}, {"BranchFBDelay", c.BranchFBDelay},
+		{"FwdDepth", c.FwdDepth}, {"WBDelay", c.WBDelay},
+	}
+	for _, p := range pos {
+		if p.v < 1 {
+			return fmt.Errorf("pipeline: %s = %d, must be >= 1", p.name, p.v)
+		}
+	}
+	if c.NumPhysRegs < c.MaxInFlight {
+		return fmt.Errorf("pipeline: %d physical registers cannot cover %d in flight", c.NumPhysRegs, c.MaxInFlight)
+	}
+	if c.MeasureInstructions == 0 {
+		return fmt.Errorf("pipeline: MeasureInstructions must be > 0")
+	}
+	if c.UseDRA && c.DRA.Clusters != c.Clusters {
+		return fmt.Errorf("pipeline: DRA clusters (%d) must match machine clusters (%d)", c.DRA.Clusters, c.Clusters)
+	}
+	return nil
+}

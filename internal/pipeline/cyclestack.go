@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"loosesim/internal/uop"
+)
+
+// CycleStack is a cycle-accounting breakdown (a CPI stack): every cycle of
+// the measurement window is attributed to one bucket. Cycles that retire at
+// least one instruction are progress; a cycle that retires nothing is
+// charged according to what the oldest in-flight instruction was doing,
+// which names the loop or resource responsible for the stall.
+type CycleStack struct {
+	// Retiring cycles committed at least one instruction.
+	Retiring int64
+	// FrontEnd cycles had an empty window head: fetch was refilling after
+	// a branch mispredict, trap, or refetch — the fetch-recovery loops.
+	FrontEnd int64
+	// Decode cycles were headed by an instruction still in the DEC-IQ
+	// pipe (rename backpressure or a just-refilled pipe).
+	Decode int64
+	// IQWait cycles were headed by an instruction waiting in the IQ for
+	// operands or ordering (dependence chains, load waits).
+	IQWait int64
+	// MemExec cycles were headed by an executing load waiting on the
+	// memory hierarchy.
+	MemExec int64
+	// Exec cycles were headed by a non-load instruction in execution.
+	Exec int64
+}
+
+// Total returns the cycles accounted.
+func (s CycleStack) Total() int64 {
+	return s.Retiring + s.FrontEnd + s.Decode + s.IQWait + s.MemExec + s.Exec
+}
+
+// Fractions returns each bucket as a fraction of the total.
+func (s CycleStack) Fractions() (retiring, frontEnd, decode, iqWait, memExec, exec float64) {
+	t := float64(s.Total())
+	if t == 0 {
+		return 0, 0, 0, 0, 0, 0
+	}
+	return float64(s.Retiring) / t, float64(s.FrontEnd) / t, float64(s.Decode) / t,
+		float64(s.IQWait) / t, float64(s.MemExec) / t, float64(s.Exec) / t
+}
+
+// String renders the stack as percentages.
+func (s CycleStack) String() string {
+	r, f, d, q, m, e := s.Fractions()
+	return fmt.Sprintf("retiring %.1f%%, front-end %.1f%%, decode %.1f%%, iq-wait %.1f%%, memory %.1f%%, exec %.1f%%",
+		100*r, 100*f, 100*d, 100*q, 100*m, 100*e)
+}
+
+// sub returns s - base, field by field.
+func (s CycleStack) sub(base CycleStack) CycleStack {
+	return CycleStack{
+		Retiring: s.Retiring - base.Retiring,
+		FrontEnd: s.FrontEnd - base.FrontEnd,
+		Decode:   s.Decode - base.Decode,
+		IQWait:   s.IQWait - base.IQWait,
+		MemExec:  s.MemExec - base.MemExec,
+		Exec:     s.Exec - base.Exec,
+	}
+}
+
+// attributeCycle charges the just-finished cycle to a bucket. retired is
+// the number of instructions committed this cycle.
+func (m *Machine) attributeCycle(retired int) {
+	if retired > 0 {
+		m.stack.Retiring++
+		return
+	}
+	// Find the oldest in-flight instruction across threads.
+	var head *uop.UOp
+	for _, t := range m.threads {
+		if u := t.window.front(); u != nil && (head == nil || u.Seq < head.Seq) {
+			head = u
+		}
+	}
+	switch {
+	case head == nil:
+		m.stack.FrontEnd++
+	case head.State == uop.StateDecode:
+		m.stack.Decode++
+	case head.State == uop.StateWaiting:
+		m.stack.IQWait++
+	case head.IsLoad() && head.ExecCycle != uop.NoCycle:
+		m.stack.MemExec++
+	default:
+		m.stack.Exec++
+	}
+}

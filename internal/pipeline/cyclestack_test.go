@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCycleStackAccountsEveryCycle(t *testing.T) {
+	res := run(t, quickCfg(t, "gcc"))
+	if got, want := res.Cycles.Total(), res.Counters.Cycles; got != want {
+		t.Errorf("stack accounts %d cycles, run took %d", got, want)
+	}
+	r, f, d, q, m, e := res.Cycles.Fractions()
+	if sum := r + f + d + q + m + e; math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if res.Cycles.Retiring == 0 {
+		t.Error("a completing run must have retiring cycles")
+	}
+}
+
+func TestCycleStackMemoryBoundShape(t *testing.T) {
+	hydro := run(t, quickCfg(t, "hydro"))
+	m88 := run(t, quickCfg(t, "m88"))
+	_, _, _, _, hMem, _ := hydro.Cycles.Fractions()
+	_, _, _, _, mMem, _ := m88.Cycles.Fractions()
+	if hMem <= mMem {
+		t.Errorf("hydro memory share (%.3f) must exceed m88's (%.3f)", hMem, mMem)
+	}
+	if hMem < 0.3 {
+		t.Errorf("hydro memory share %.3f; expected memory-bound", hMem)
+	}
+}
+
+func TestCycleStackStringAndZero(t *testing.T) {
+	var s CycleStack
+	if s.Total() != 0 {
+		t.Error("zero stack total")
+	}
+	r, f, d, q, m, e := s.Fractions()
+	if r+f+d+q+m+e != 0 {
+		t.Error("zero stack fractions must be zero")
+	}
+	s.Retiring = 3
+	s.MemExec = 7
+	if !strings.Contains(s.String(), "retiring 30.0%") {
+		t.Errorf("stack string = %q", s.String())
+	}
+}
+
+func TestCycleStackSub(t *testing.T) {
+	a := CycleStack{Retiring: 10, FrontEnd: 5, Decode: 1, IQWait: 2, MemExec: 3, Exec: 4}
+	b := CycleStack{Retiring: 4, FrontEnd: 2, Decode: 1, IQWait: 1, MemExec: 1, Exec: 1}
+	d := a.sub(b)
+	if d.Retiring != 6 || d.FrontEnd != 3 || d.Decode != 0 || d.IQWait != 1 || d.MemExec != 2 || d.Exec != 3 {
+		t.Errorf("sub = %+v", d)
+	}
+}

@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loosesim/internal/workload"
+)
+
+func quickDRACfg(t *testing.T, bench string, rf int) Config {
+	t.Helper()
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DRAConfigRF(wl, rf)
+	cfg.WarmupInstructions = 20_000
+	cfg.MeasureInstructions = 40_000
+	return cfg
+}
+
+func TestDRAOperandSharesSumToOne(t *testing.T) {
+	res := run(t, quickDRACfg(t, "swim", 5))
+	pr, fw, crc, miss := res.OperandShare()
+	if sum := pr + fw + crc + miss; math.Abs(sum-1) > 1e-9 {
+		t.Errorf("operand shares sum to %v, want 1", sum)
+	}
+	if res.Counters.OperandsRead == 0 {
+		t.Fatal("no operands classified")
+	}
+	// Figure 9's dominant path: the forwarding buffer serves the majority
+	// of operands.
+	if fw < 0.4 {
+		t.Errorf("forwarding share %.3f; expected the largest share (paper: >50%%)", fw)
+	}
+	if pr == 0 || crc == 0 {
+		t.Error("pre-read and CRC paths must both be exercised")
+	}
+}
+
+func TestDRABaseNeverClassifies(t *testing.T) {
+	res := run(t, quickCfg(t, "swim"))
+	if res.Counters.OperandsRead != 0 || res.Counters.OperandMisses != 0 {
+		t.Error("base machine must not classify operands")
+	}
+}
+
+func TestDRAApsiLoses(t *testing.T) {
+	// The paper's headline negative result: apsi's operand miss rate makes
+	// the DRA a loss (Figure 8, Section 6).
+	base := run(t, func() Config {
+		wl, _ := workload.ByName("apsi")
+		cfg := BaseConfigRF(wl, 5)
+		cfg.WarmupInstructions = 20_000
+		cfg.MeasureInstructions = 40_000
+		return cfg
+	}())
+	dra := run(t, quickDRACfg(t, "apsi", 5))
+	if dra.IPC() >= base.IPC() {
+		t.Errorf("apsi DRA (%.3f) must lose to base (%.3f)", dra.IPC(), base.IPC())
+	}
+	if rate := dra.OperandMissRate(); rate < 0.003 {
+		t.Errorf("apsi operand miss rate %.4f too low to drive the loss", rate)
+	}
+	if dra.Counters.OperandReissues == 0 || dra.Counters.FrontStalls == 0 {
+		t.Error("operand misses must reissue and stall the front end")
+	}
+}
+
+func TestDRAWinsOnLoadBound(t *testing.T) {
+	// Figure 8's positive result, at its largest lever (7-cycle register
+	// file): the DRA wins for load-bound programs.
+	wl, _ := workload.ByName("swim")
+	bcfg := BaseConfigRF(wl, 7)
+	bcfg.WarmupInstructions = 20_000
+	bcfg.MeasureInstructions = 40_000
+	base := run(t, bcfg)
+	dra := run(t, quickDRACfg(t, "swim", 7))
+	if dra.IPC() <= base.IPC() {
+		t.Errorf("swim DRA:9_3 (%.3f) must beat base:5_9 (%.3f)", dra.IPC(), base.IPC())
+	}
+}
+
+func TestDRAGainGrowsWithRegisterFileLatency(t *testing.T) {
+	// This trend needs more statistical weight than the other quick tests:
+	// the rf=3 and rf=7 speedups differ by a few percent.
+	speedup := func(rf int) float64 {
+		wl, _ := workload.ByName("swim")
+		bcfg := BaseConfigRF(wl, rf)
+		bcfg.WarmupInstructions = 60_000
+		bcfg.MeasureInstructions = 150_000
+		base := run(t, bcfg)
+		dcfg := DRAConfigRF(wl, rf)
+		dcfg.WarmupInstructions = 60_000
+		dcfg.MeasureInstructions = 150_000
+		dra := run(t, dcfg)
+		return dra.IPC() / base.IPC()
+	}
+	s3, s7 := speedup(3), speedup(7)
+	if s7 <= s3 {
+		t.Errorf("DRA speedup must grow with register file latency: rf3=%.3f rf7=%.3f", s3, s7)
+	}
+}
+
+func TestDRAMissRateLowOutsideApsi(t *testing.T) {
+	// Figure 9: most benchmarks have operand miss rates well under 1%.
+	for _, b := range []string{"gcc", "swim", "m88"} {
+		res := run(t, quickDRACfg(t, b, 5))
+		if rate := res.OperandMissRate(); rate > 0.01 {
+			t.Errorf("%s operand miss rate %.4f, want < 1%%", b, rate)
+		}
+	}
+}
+
+func TestDRATinyCRCHurts(t *testing.T) {
+	cfg := quickDRACfg(t, "apsi", 5)
+	cfg.DRA.CRCEntries = 1
+	tiny := run(t, cfg)
+	cfg.DRA.CRCEntries = 16
+	full := run(t, cfg)
+	if tiny.OperandMissRate() <= full.OperandMissRate() {
+		t.Errorf("1-entry CRC must miss more: %.4f vs %.4f",
+			tiny.OperandMissRate(), full.OperandMissRate())
+	}
+}
+
+func TestDRAWiderCountersReduceMisses(t *testing.T) {
+	cfg := quickDRACfg(t, "apsi", 5)
+	cfg.DRA.CounterBits = 1
+	narrow := run(t, cfg)
+	cfg.DRA.CounterBits = 4
+	wide := run(t, cfg)
+	if wide.OperandMissRate() > narrow.OperandMissRate() {
+		t.Errorf("wider insertion counters must not increase misses: %.4f vs %.4f",
+			wide.OperandMissRate(), narrow.OperandMissRate())
+	}
+}
+
+func TestShallowForwardingShiftsTrafficToCRC(t *testing.T) {
+	cfg := quickDRACfg(t, "swim", 5)
+	cfg.FwdDepth = 9
+	deep := run(t, cfg)
+	cfg.FwdDepth = 3
+	shallow := run(t, cfg)
+	_, fwDeep, crcDeep, _ := deep.OperandShare()
+	_, fwShallow, crcShallow, _ := shallow.OperandShare()
+	if fwShallow >= fwDeep {
+		t.Errorf("shallower buffer must forward less: %.3f vs %.3f", fwShallow, fwDeep)
+	}
+	if crcShallow <= crcDeep {
+		t.Errorf("shallower buffer must shift traffic to CRCs: %.3f vs %.3f", crcShallow, crcDeep)
+	}
+}
+
+// Property: any benchmark at any supported register-file latency, base or
+// DRA, completes a short run without panicking and with sane accounting.
+func TestRandomConfigRobustnessProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	benches := workload.PaperOrder()
+	f := func(seed int64, benchIdx, rfIdx uint8, dra bool) bool {
+		bench := benches[int(benchIdx)%len(benches)]
+		rf := []int{3, 5, 7}[int(rfIdx)%3]
+		wl, err := workload.ByName(bench)
+		if err != nil {
+			return false
+		}
+		var cfg Config
+		if dra {
+			cfg = DRAConfigRF(wl, rf)
+		} else {
+			cfg = BaseConfigRF(wl, rf)
+		}
+		cfg.Seed = seed
+		cfg.WarmupInstructions = 2_000
+		cfg.MeasureInstructions = 8_000
+		m, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		res := m.Run()
+		if res.IPC() <= 0 || res.IPC() > float64(cfg.FetchWidth) {
+			return false
+		}
+		c := res.Counters
+		return c.Mispredicts <= c.Branches && c.L1Misses <= c.Loads && c.L2Misses <= c.L1Misses
+	}
+	if err := quick.Check(f, &quick.Config{
+		MaxCount: 12,
+		Rand:     rand.New(rand.NewSource(2)),
+	}); err != nil {
+		t.Error(err)
+	}
+}

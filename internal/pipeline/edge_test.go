@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"testing"
+
+	"loosesim/internal/workload"
+)
+
+// tiny runs a very short simulation with the given mutations applied to the
+// default gcc machine, checking only that it completes sanely.
+func tiny(t *testing.T, bench string, mutate func(*Config)) *Result {
+	t.Helper()
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(wl)
+	cfg.WarmupInstructions = 2_000
+	cfg.MeasureInstructions = 8_000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return run(t, cfg)
+}
+
+func TestNarrowMachine(t *testing.T) {
+	res := tiny(t, "gcc", func(c *Config) {
+		c.FetchWidth, c.RenameWidth, c.RetireWidth = 1, 1, 1
+		c.Clusters = 1
+		c.DRA.Clusters = 1
+	})
+	if ipc := res.IPC(); ipc <= 0 || ipc > 1.0 {
+		t.Errorf("1-wide machine IPC %v outside (0, 1]", ipc)
+	}
+}
+
+func TestTinyIQ(t *testing.T) {
+	res := tiny(t, "swim", func(c *Config) {
+		c.IQEntries = 8
+		c.Clusters = 2
+		c.DRA.Clusters = 2
+	})
+	if res.IPC() <= 0 {
+		t.Error("tiny IQ must still make progress")
+	}
+	if res.IQOccupancy > 8 {
+		t.Errorf("occupancy %v exceeds capacity", res.IQOccupancy)
+	}
+}
+
+func TestTinyWindow(t *testing.T) {
+	res := tiny(t, "gcc", func(c *Config) {
+		c.MaxInFlight = 16
+		c.IQEntries = 16
+	})
+	if res.IPC() <= 0 {
+		t.Error("tiny window must still make progress")
+	}
+}
+
+func TestMinimalLatencies(t *testing.T) {
+	res := tiny(t, "comp", func(c *Config) {
+		c.DecIQLat, c.IQExLat = 1, 1
+		c.FeedbackDelay, c.BranchFBDelay = 1, 1
+		c.FwdDepth, c.WBDelay = 1, 1
+		c.IQEvictDelay = 1
+	})
+	if res.IPC() <= 0 {
+		t.Error("minimal-latency machine must run")
+	}
+}
+
+func TestVeryDeepPipe(t *testing.T) {
+	res := tiny(t, "go", func(c *Config) {
+		c.DecIQLat, c.IQExLat = 20, 20
+	})
+	if res.IPC() <= 0 {
+		t.Error("deep pipe must run")
+	}
+}
+
+func TestZeroWarmup(t *testing.T) {
+	res := tiny(t, "m88", func(c *Config) { c.WarmupInstructions = 0 })
+	if res.Counters.Retired < 8_000 {
+		t.Errorf("retired %d with zero warmup", res.Counters.Retired)
+	}
+}
+
+func TestDRAOnEveryEdge(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.DRA.CRCEntries = 1 },
+		func(c *Config) { c.DRA.CounterBits = 1 },
+		func(c *Config) { c.DRA.CounterBits = 8 },
+		func(c *Config) { c.FwdDepth = 1 },
+	} {
+		res := tiny(t, "apsi", func(c *Config) {
+			c.UseDRA = true
+			c.IQExLat = 3
+			c.DecIQLat = 7
+			mutate(c)
+		})
+		if res.IPC() <= 0 {
+			t.Error("DRA edge config must run")
+		}
+	}
+}
+
+func TestAllPoliciesAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow matrix")
+	}
+	for _, b := range workload.PaperOrder() {
+		for _, p := range []LoadRecovery{LoadReissue, LoadRefetch, LoadStall} {
+			res := tiny(t, b, func(c *Config) { c.LoadPolicy = p })
+			if res.IPC() <= 0 {
+				t.Errorf("%s with %v produced no progress", b, p)
+			}
+		}
+	}
+}
+
+func TestStallPolicyNeverReissuesOnLoads(t *testing.T) {
+	res := tiny(t, "swim", func(c *Config) { c.LoadPolicy = LoadStall })
+	// Without load-hit speculation there is no load shadow, so data
+	// reissues should be zero (no garbage is ever consumed).
+	if res.Counters.DataReissues != 0 {
+		t.Errorf("stall policy reissued %d instructions", res.Counters.DataReissues)
+	}
+	if res.Counters.LoadMisspecs != 0 {
+		t.Errorf("stall policy recorded %d mis-speculations", res.Counters.LoadMisspecs)
+	}
+}
+
+func TestRefetchPolicyFlushes(t *testing.T) {
+	res := tiny(t, "swim", func(c *Config) { c.LoadPolicy = LoadRefetch })
+	if res.Counters.LoadRefetches == 0 {
+		t.Error("refetch policy must refetch on swim's misses")
+	}
+	if res.Counters.SquashedTotal == 0 {
+		t.Error("refetch recovery must squash")
+	}
+}
+
+func TestAlternatePredictors(t *testing.T) {
+	for _, k := range []PredictorKind{PredBimodal, PredGShare, PredStatic, PredTournament} {
+		res := tiny(t, "gcc", func(c *Config) { c.Predictor = k })
+		if res.IPC() <= 0 {
+			t.Errorf("predictor %s: no progress", k)
+		}
+	}
+	// The static predictor must be clearly worse than the tournament on a
+	// branchy benchmark.
+	static := tiny(t, "gcc", func(c *Config) { c.Predictor = PredStatic })
+	tourn := tiny(t, "gcc", func(c *Config) { c.Predictor = PredTournament })
+	if static.IPC() >= tourn.IPC() {
+		t.Errorf("static (%.3f) should lose to tournament (%.3f)", static.IPC(), tourn.IPC())
+	}
+}
+
+func TestFourThreadSMT(t *testing.T) {
+	// The machine is not limited to two hardware threads.
+	wl := workload.Workload{Name: "quad"}
+	for _, n := range []string{"gcc", "swim", "m88", "comp"} {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl.Threads = append(wl.Threads, w.Threads[0])
+	}
+	cfg := DefaultConfig(wl)
+	cfg.WarmupInstructions = 2_000
+	cfg.MeasureInstructions = 12_000
+	res := run(t, cfg)
+	if len(res.RetiredPerThread) != 4 {
+		t.Fatalf("threads = %d", len(res.RetiredPerThread))
+	}
+	for i, r := range res.RetiredPerThread {
+		if r == 0 {
+			t.Errorf("thread %d starved", i)
+		}
+	}
+}

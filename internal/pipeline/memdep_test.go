@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"loosesim/internal/workload"
+)
+
+func memCfg(t *testing.T, bench string, pol MemDepPolicy) Config {
+	t.Helper()
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(wl)
+	cfg.WarmupInstructions = 20_000
+	cfg.MeasureInstructions = 60_000
+	cfg.MemDep = pol
+	return cfg
+}
+
+func TestMemDepPolicyStrings(t *testing.T) {
+	for _, p := range []MemDepPolicy{MemDepStoreWait, MemDepBlind, MemDepConservative, MemDepPolicy(9)} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+	if MemDepStoreWait.String() != "storewait" {
+		t.Errorf("default policy name = %q", MemDepStoreWait.String())
+	}
+}
+
+func TestConservativeNeverTraps(t *testing.T) {
+	res := run(t, memCfg(t, "gcc", MemDepConservative))
+	if res.Counters.MemOrderTraps != 0 {
+		t.Errorf("conservative policy trapped %d times", res.Counters.MemOrderTraps)
+	}
+}
+
+func TestBlindTrapsOnReloadTraffic(t *testing.T) {
+	res := run(t, memCfg(t, "gcc", MemDepBlind))
+	if res.Counters.MemOrderTraps == 0 {
+		t.Error("blind speculation must take memory-order traps on gcc")
+	}
+	if res.Counters.StoreForwards == 0 {
+		t.Error("reload traffic must produce store-to-load forwarding")
+	}
+}
+
+func TestStoreWaitLearns(t *testing.T) {
+	blind := run(t, memCfg(t, "swim", MemDepBlind))
+	sw := run(t, memCfg(t, "swim", MemDepStoreWait))
+	if sw.Counters.MemOrderTraps*4 >= blind.Counters.MemOrderTraps {
+		t.Errorf("store-wait must remove most repeat traps: %d vs blind %d",
+			sw.Counters.MemOrderTraps, blind.Counters.MemOrderTraps)
+	}
+}
+
+func TestSpeculationBeatsConservative(t *testing.T) {
+	sw := run(t, memCfg(t, "swim", MemDepStoreWait))
+	cons := run(t, memCfg(t, "swim", MemDepConservative))
+	if cons.IPC() >= sw.IPC() {
+		t.Errorf("conservative (%.3f) must lose badly to store-wait (%.3f)", cons.IPC(), sw.IPC())
+	}
+	if cons.IPC() > 0.8*sw.IPC() {
+		t.Errorf("conservative loss only %.1f%%; expected dramatic serialisation",
+			100*(1-cons.IPC()/sw.IPC()))
+	}
+}
+
+func TestGranule(t *testing.T) {
+	if granule(0) != granule(7) {
+		t.Error("same 8-byte granule must match")
+	}
+	if granule(0) == granule(8) {
+		t.Error("adjacent granules must differ")
+	}
+}
+
+func TestMemDepTrackingBounded(t *testing.T) {
+	// The tracking lists must stay bounded by the in-flight window, or
+	// they would leak across a long run.
+	cfg := memCfg(t, "gcc", MemDepStoreWait)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	for _, th := range m.threads {
+		if len(th.memStores) > cfg.MaxInFlight || len(th.memLoads) > cfg.MaxInFlight {
+			t.Errorf("tracking lists leaked: stores=%d loads=%d", len(th.memStores), len(th.memLoads))
+		}
+	}
+}
+
+func TestMemDepWithDRAAndSMT(t *testing.T) {
+	// The memory dependence loop must compose with the DRA and SMT.
+	wl, _ := workload.ByName("m88-comp")
+	cfg := DRAConfigRF(wl, 5)
+	cfg.WarmupInstructions = 10_000
+	cfg.MeasureInstructions = 30_000
+	res := run(t, cfg)
+	if res.IPC() <= 0 {
+		t.Fatal("no progress")
+	}
+	if res.Counters.StoreForwards == 0 {
+		t.Error("forwarding must occur under DRA+SMT too")
+	}
+}

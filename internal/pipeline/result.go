@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"loosesim/internal/stats"
+)
+
+// Counters holds raw event counts. The machine snapshots it at the end of
+// warmup and subtracts, so a Result reflects the measurement window only.
+type Counters struct {
+	Cycles  int64
+	Retired uint64
+
+	// Fetch / front end.
+	Fetched        uint64
+	WrongPathFetch uint64
+	BTBBubbles     uint64
+	RenameStallIQ  uint64 // cycles the rename head stalled on a full IQ
+	FrontStalls    uint64 // cycles the front end stalled for DRA recovery
+
+	// Branch resolution loop.
+	Branches        uint64
+	Mispredicts     uint64
+	SquashedTotal   uint64 // instructions killed by branch/trap recovery
+	SquashedIssued  uint64 // of those, how many had already issued
+	BranchResLatSum uint64 // fetch->resolve latency sum over mispredicts
+
+	// Load resolution loop.
+	Loads          uint64
+	L1Misses       uint64
+	L2Misses       uint64
+	BankConflicts  uint64
+	LoadMisspecs   uint64 // loads whose hit speculation failed
+	DataReissues   uint64 // instructions reissued after consuming unready data
+	LoadRefetches  uint64 // refetch-policy recoveries
+	TLBMissTraps   uint64
+	MemOrderTraps  uint64 // load/store reorder traps (memory dep. loop)
+	StoreForwards  uint64 // loads satisfied from the store queue
+	IssuedTotal    uint64 // issue slots consumed (incl. reissues, wrong path)
+	ExecutedUseful uint64 // correct-path successful executions
+
+	// Operand resolution loop (DRA).
+	OperandsRead     uint64 // classified source operands (correct path)
+	OperandPreRead   uint64
+	OperandForwarded uint64
+	OperandCRC       uint64
+	OperandMisses    uint64
+	OperandReissues  uint64 // instructions reissued due to an operand miss
+}
+
+// sub returns c - base, field by field.
+func (c Counters) sub(base Counters) Counters {
+	return Counters{
+		Cycles:  c.Cycles - base.Cycles,
+		Retired: c.Retired - base.Retired,
+
+		Fetched:        c.Fetched - base.Fetched,
+		WrongPathFetch: c.WrongPathFetch - base.WrongPathFetch,
+		BTBBubbles:     c.BTBBubbles - base.BTBBubbles,
+		RenameStallIQ:  c.RenameStallIQ - base.RenameStallIQ,
+		FrontStalls:    c.FrontStalls - base.FrontStalls,
+
+		Branches:        c.Branches - base.Branches,
+		Mispredicts:     c.Mispredicts - base.Mispredicts,
+		SquashedTotal:   c.SquashedTotal - base.SquashedTotal,
+		SquashedIssued:  c.SquashedIssued - base.SquashedIssued,
+		BranchResLatSum: c.BranchResLatSum - base.BranchResLatSum,
+
+		Loads:          c.Loads - base.Loads,
+		L1Misses:       c.L1Misses - base.L1Misses,
+		L2Misses:       c.L2Misses - base.L2Misses,
+		BankConflicts:  c.BankConflicts - base.BankConflicts,
+		LoadMisspecs:   c.LoadMisspecs - base.LoadMisspecs,
+		DataReissues:   c.DataReissues - base.DataReissues,
+		LoadRefetches:  c.LoadRefetches - base.LoadRefetches,
+		TLBMissTraps:   c.TLBMissTraps - base.TLBMissTraps,
+		MemOrderTraps:  c.MemOrderTraps - base.MemOrderTraps,
+		StoreForwards:  c.StoreForwards - base.StoreForwards,
+		IssuedTotal:    c.IssuedTotal - base.IssuedTotal,
+		ExecutedUseful: c.ExecutedUseful - base.ExecutedUseful,
+
+		OperandsRead:     c.OperandsRead - base.OperandsRead,
+		OperandPreRead:   c.OperandPreRead - base.OperandPreRead,
+		OperandForwarded: c.OperandForwarded - base.OperandForwarded,
+		OperandCRC:       c.OperandCRC - base.OperandCRC,
+		OperandMisses:    c.OperandMisses - base.OperandMisses,
+		OperandReissues:  c.OperandReissues - base.OperandReissues,
+	}
+}
+
+// Result is the outcome of one simulation's measurement window.
+type Result struct {
+	Benchmark string
+	Counters  Counters
+
+	// OperandGap is the Figure 6 distribution: cycles between the
+	// availability of an instruction's first and second source operands.
+	OperandGap *stats.Histogram
+
+	// IQOccupancy and IQRetained are mean queue populations over the
+	// measurement window (IQ-pressure data).
+	IQOccupancy float64
+	IQRetained  float64
+
+	// RetiredPerThread breaks retirement down by hardware thread.
+	RetiredPerThread []uint64
+
+	// Cycles is the cycle-accounting (CPI stack) breakdown of the
+	// measurement window.
+	Cycles CycleStack
+}
+
+// IPC returns retired correct-path instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Counters.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Counters.Retired) / float64(r.Counters.Cycles)
+}
+
+// MispredictRate returns mispredicted / resolved correct-path branches.
+func (r *Result) MispredictRate() float64 {
+	if r.Counters.Branches == 0 {
+		return 0
+	}
+	return float64(r.Counters.Mispredicts) / float64(r.Counters.Branches)
+}
+
+// L1MissRate returns L1 data cache misses per correct-path load.
+func (r *Result) L1MissRate() float64 {
+	if r.Counters.Loads == 0 {
+		return 0
+	}
+	return float64(r.Counters.L1Misses) / float64(r.Counters.Loads)
+}
+
+// OperandMissRate returns DRA operand misses per classified operand.
+func (r *Result) OperandMissRate() float64 {
+	if r.Counters.OperandsRead == 0 {
+		return 0
+	}
+	return float64(r.Counters.OperandMisses) / float64(r.Counters.OperandsRead)
+}
+
+// OperandShare returns the Figure 9 breakdown: fractions of operands read
+// via register pre-read, the forwarding buffer, the CRCs, and misses.
+func (r *Result) OperandShare() (preRead, forwarded, crc, miss float64) {
+	n := float64(r.Counters.OperandsRead)
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(r.Counters.OperandPreRead) / n,
+		float64(r.Counters.OperandForwarded) / n,
+		float64(r.Counters.OperandCRC) / n,
+		float64(r.Counters.OperandMisses) / n
+}
+
+// UselessWork returns the paper's useless-work measure: instructions
+// reissued (load and operand loops) plus issued instructions squashed by
+// branch/trap recovery.
+func (r *Result) UselessWork() uint64 {
+	return r.Counters.DataReissues + r.Counters.OperandReissues + r.Counters.SquashedIssued
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: IPC=%.3f cycles=%d retired=%d bmiss=%.2f%% l1miss=%.2f%% opmiss=%.3f%%",
+		r.Benchmark, r.IPC(), r.Counters.Cycles, r.Counters.Retired,
+		100*r.MispredictRate(), 100*r.L1MissRate(), 100*r.OperandMissRate())
+}

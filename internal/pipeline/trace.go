@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"loosesim/internal/uop"
+)
+
+// Tracer receives one record per retired instruction, in retirement order,
+// carrying the cycle at which the instruction passed each stage. It is the
+// simulator's pipeline-viewer hook: piping it through sort/awk (or reading
+// it directly) shows loops resolving — reissued instructions have
+// issue != first-issue, trapped regions show fetch-cycle gaps, and so on.
+type Tracer struct {
+	w     io.Writer
+	limit uint64
+	count uint64
+	err   error
+}
+
+// NewTracer traces the first limit retired instructions to w (limit 0 means
+// no bound).
+func NewTracer(w io.Writer, limit uint64) *Tracer {
+	t := &Tracer{w: w, limit: limit}
+	t.header()
+	return t
+}
+
+func (t *Tracer) header() {
+	_, t.err = fmt.Fprintln(t.w, "# seq thread op pc fetch rename issue exec complete retire issues cluster flags")
+}
+
+// record emits one retired instruction. Tracing errors latch; the first is
+// reported by Err.
+func (t *Tracer) record(u *uop.UOp, retireCycle int64) {
+	if t.err != nil || (t.limit > 0 && t.count >= t.limit) {
+		return
+	}
+	t.count++
+	flags := "-"
+	if u.Issues > 1 {
+		flags = fmt.Sprintf("reissued(%d)", u.Issues-1)
+	}
+	_, err := fmt.Fprintf(t.w, "%d %d %s %#x %d %d %d %d %d %d %d %d %s\n",
+		u.Seq, u.Thread, u.Inst.Op, u.Inst.PC,
+		u.FetchCycle, u.EnterIQCycle, u.IssueCycle, u.ExecCycle,
+		u.CompleteCycle, retireCycle, u.Issues, u.Cluster, flags)
+	if err != nil {
+		t.err = err
+	}
+}
+
+// Count returns the number of records emitted.
+func (t *Tracer) Count() uint64 { return t.count }
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error { return t.err }

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTracerEmitsRetirementRecords(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(t, "m88")
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = 5_000
+	cfg.Tracer = NewTracer(&buf, 1000)
+	run(t, cfg)
+
+	if cfg.Tracer.Err() != nil {
+		t.Fatalf("tracer error: %v", cfg.Tracer.Err())
+	}
+	if cfg.Tracer.Count() != 1000 {
+		t.Fatalf("tracer emitted %d records, want 1000", cfg.Tracer.Count())
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "# seq") {
+		t.Fatal("missing header")
+	}
+	lines := 0
+	lastRetire := int64(-1)
+	for sc.Scan() {
+		lines++
+		f := strings.Fields(sc.Text())
+		if len(f) != 13 {
+			t.Fatalf("record has %d fields: %q", len(f), sc.Text())
+		}
+		fetch, _ := strconv.ParseInt(f[4], 10, 64)
+		issue, _ := strconv.ParseInt(f[6], 10, 64)
+		exec, _ := strconv.ParseInt(f[7], 10, 64)
+		complete, _ := strconv.ParseInt(f[8], 10, 64)
+		retire, _ := strconv.ParseInt(f[9], 10, 64)
+		if !(fetch <= issue && issue < exec && exec < complete && complete <= retire) {
+			t.Fatalf("non-monotonic stage times: %q", sc.Text())
+		}
+		if retire < lastRetire {
+			t.Fatalf("retirement order violated: %d after %d", retire, lastRetire)
+		}
+		lastRetire = retire
+	}
+	if lines != 1000 {
+		t.Fatalf("trace has %d records, want 1000", lines)
+	}
+}
+
+func TestTracerUnlimited(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 0)
+	cfg := quickCfg(t, "m88")
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = 2_000
+	cfg.Tracer = tr
+	run(t, cfg)
+	if tr.Count() < 2_000 {
+		t.Errorf("unlimited tracer recorded %d, want >= 2000", tr.Count())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }
+
+func TestTracerLatchesError(t *testing.T) {
+	tr := NewTracer(failWriter{}, 10)
+	if tr.Err() == nil {
+		t.Fatal("header write error must latch")
+	}
+}

@@ -1,0 +1,205 @@
+package regfile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loosesim/internal/isa"
+)
+
+func TestNewFileInitialState(t *testing.T) {
+	f := NewFile(512, 2)
+	if f.NumPhys() != 512 {
+		t.Errorf("NumPhys = %d", f.NumPhys())
+	}
+	want := 512 - 2*isa.NumArchRegs
+	if f.FreeCount() != want {
+		t.Errorf("FreeCount = %d, want %d", f.FreeCount(), want)
+	}
+	// All architectural mappings valid and distinct across threads.
+	seen := map[PReg]bool{}
+	for th := 0; th < 2; th++ {
+		for a := 0; a < isa.NumArchRegs; a++ {
+			p := f.Lookup(th, isa.Reg(a))
+			if seen[p] {
+				t.Fatalf("duplicate mapping p%d", p)
+			}
+			seen[p] = true
+			if !f.Valid(p) {
+				t.Errorf("architectural p%d must be valid", p)
+			}
+		}
+	}
+	if f.InFlight() != 0 {
+		t.Errorf("InFlight = %d, want 0", f.InFlight())
+	}
+}
+
+func TestNewFileTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undersized file must panic")
+		}
+	}()
+	NewFile(isa.NumArchRegs+8, 1)
+}
+
+func TestRenameInvalidDest(t *testing.T) {
+	f := NewFile(256, 1)
+	n, o, ok := f.Rename(0, isa.RegInvalid)
+	if !ok || n != PRegInvalid || o != PRegInvalid {
+		t.Error("renaming an invalid dest must be a no-op success")
+	}
+}
+
+func TestRenameClearsValid(t *testing.T) {
+	f := NewFile(256, 1)
+	n, o, ok := f.Rename(0, 5)
+	if !ok {
+		t.Fatal("rename failed with free registers available")
+	}
+	if f.Valid(n) {
+		t.Error("freshly renamed destination must be invalid (producer in flight)")
+	}
+	if !f.Valid(o) {
+		t.Error("previous mapping must remain valid")
+	}
+	if f.Lookup(0, 5) != n {
+		t.Error("lookup must return the new mapping")
+	}
+	f.Writeback(n)
+	if !f.Valid(n) {
+		t.Error("writeback must set the valid bit")
+	}
+}
+
+func TestRenameExhaustion(t *testing.T) {
+	f := NewFile(isa.NumArchRegs+32, 1)
+	var last PReg
+	for i := 0; i < 32; i++ {
+		n, _, ok := f.Rename(0, isa.Reg(i%isa.NumArchRegs))
+		if !ok {
+			t.Fatalf("rename %d failed early", i)
+		}
+		last = n
+	}
+	if _, _, ok := f.Rename(0, 0); ok {
+		t.Error("rename must fail once the free list is empty")
+	}
+	f.Free(last)
+	if _, _, ok := f.Rename(0, 0); !ok {
+		t.Error("rename must succeed after a free")
+	}
+}
+
+func TestRetireStyleFree(t *testing.T) {
+	f := NewFile(256, 1)
+	before := f.FreeCount()
+	n, o, _ := f.Rename(0, 3)
+	if f.FreeCount() != before-1 {
+		t.Fatal("rename must consume one register")
+	}
+	// Retire: free the old mapping.
+	f.Free(o)
+	if f.FreeCount() != before {
+		t.Error("retire must restore the free count")
+	}
+	if f.Lookup(0, 3) != n {
+		t.Error("retire must not disturb the current mapping")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	f := NewFile(256, 1)
+	_, o, _ := f.Rename(0, 3)
+	f.Free(o)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free must panic")
+		}
+	}()
+	f.Free(o)
+}
+
+func TestSquashRestore(t *testing.T) {
+	f := NewFile(256, 1)
+	orig := f.Lookup(0, 7)
+	n1, o1, _ := f.Rename(0, 7)
+	n2, o2, _ := f.Rename(0, 7)
+	if o2 != n1 {
+		t.Fatalf("second rename old mapping = p%d, want p%d", o2, n1)
+	}
+	// Squash youngest-first.
+	f.SquashRestore(0, 7, n2, o2)
+	if f.Lookup(0, 7) != n1 {
+		t.Error("first squash must restore to n1")
+	}
+	f.SquashRestore(0, 7, n1, o1)
+	if f.Lookup(0, 7) != orig {
+		t.Error("second squash must restore the original mapping")
+	}
+	if f.InFlight() != 0 {
+		t.Errorf("InFlight = %d after full unwind, want 0", f.InFlight())
+	}
+}
+
+func TestSquashOutOfOrderPanics(t *testing.T) {
+	f := NewFile(256, 1)
+	n1, o1, _ := f.Rename(0, 7)
+	f.Rename(0, 7)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order squash must panic")
+		}
+	}()
+	f.SquashRestore(0, 7, n1, o1) // n2 still mapped
+}
+
+func TestThreadIsolation(t *testing.T) {
+	f := NewFile(512, 2)
+	n0, _, _ := f.Rename(0, 4)
+	if f.Lookup(1, 4) == n0 {
+		t.Error("threads must have independent rename maps")
+	}
+}
+
+// Property: under a random sequence of rename/retire operations the free
+// list plus allocated registers always partition the file, and no physical
+// register is ever mapped by two architectural registers at once.
+func TestRenameConsistencyProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		file := NewFile(192, 1)
+		type pending struct{ old PReg }
+		var retireQ []pending
+		for i := 0; i < int(steps); i++ {
+			if rng.Intn(3) != 0 && file.FreeCount() > 0 {
+				r := isa.Reg(rng.Intn(isa.NumArchRegs))
+				_, o, ok := file.Rename(0, r)
+				if !ok {
+					return false
+				}
+				retireQ = append(retireQ, pending{o})
+			} else if len(retireQ) > 0 {
+				file.Free(retireQ[0].old)
+				retireQ = retireQ[1:]
+			}
+		}
+		// Invariant: every architectural register maps to a distinct preg.
+		seen := map[PReg]bool{}
+		for a := 0; a < isa.NumArchRegs; a++ {
+			p := file.Lookup(0, isa.Reg(a))
+			if p == PRegInvalid || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		// Invariant: allocated = mapped + pending retires.
+		allocated := file.NumPhys() - file.FreeCount()
+		return allocated == isa.NumArchRegs+len(retireQ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats provides the measurement plumbing shared by the simulator:
+// scalar counters with rate helpers, bounded histograms, and cumulative
+// distribution functions (used to regenerate the paper's Figure 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer-valued samples in unit-width buckets up to a
+// bound; samples at or beyond the bound accumulate in an overflow bucket.
+// The zero value is not usable; construct with NewHistogram.
+type Histogram struct {
+	buckets  []uint64
+	overflow uint64
+	count    uint64
+	sum      uint64
+	max      int
+}
+
+// NewHistogram returns a histogram covering values 0..bound-1 with an
+// overflow bucket for values >= bound.
+func NewHistogram(bound int) *Histogram {
+	if bound < 1 {
+		bound = 1
+	}
+	return &Histogram{buckets: make([]uint64, bound)}
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += uint64(v)
+	if v >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[v]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample recorded.
+func (h *Histogram) Max() int { return h.max }
+
+// Bucket returns the count of samples with value v (v within bounds).
+func (h *Histogram) Bucket(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Overflow returns the count of samples at or beyond the histogram bound.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// CDF returns the cumulative distribution F(v) = P(sample <= v) evaluated at
+// each integer 0..bound-1. With no samples it returns all zeros.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.buckets))
+	if h.count == 0 {
+		return out
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		out[i] = float64(cum) / float64(h.count)
+	}
+	return out
+}
+
+// Fraction returns P(sample <= v). Values beyond the bound report the
+// fraction excluding only overflow samples above them, i.e. F(bound-1).
+func (h *Histogram) Fraction(v int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	var cum uint64
+	for i := 0; i <= v; i++ {
+		cum += h.buckets[i]
+	}
+	return float64(cum) / float64(h.count)
+}
+
+// Percentile returns the smallest value v such that F(v) >= p, for
+// p in (0,1]. Overflowed distributions may return the bound.
+func (h *Histogram) Percentile(p float64) int {
+	if h.count == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(p * float64(h.count)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= need {
+			return i
+		}
+	}
+	return len(h.buckets)
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.2f max=%d overflow=%d}", h.count, h.Mean(), h.max, h.overflow)
+}
+
+// Speedup returns new/old as a ratio, guarding against a zero baseline.
+func Speedup(baseline, improved float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return improved / baseline
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative entries are skipped. Returns 0 for an empty input.
+func GeoMean(vals []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vals {
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Table formats aligned rows for terminal output: the first row is treated
+// as a header. It is used by the experiment harness to print figure data.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order; used for deterministic
+// reporting of per-benchmark results.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{0, 1, 1, 2, 9, 15, -3} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Bucket(1) != 2 {
+		t.Errorf("bucket(1) = %d, want 2", h.Bucket(1))
+	}
+	if h.Bucket(0) != 2 { // 0 and clamped -3
+		t.Errorf("bucket(0) = %d, want 2", h.Bucket(0))
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow = %d, want 1", h.Overflow())
+	}
+	if h.Max() != 15 {
+		t.Errorf("max = %d, want 15", h.Max())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 5; i++ {
+		h.Add(i)
+	}
+	if got := h.Mean(); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+	empty := NewHistogram(4)
+	if empty.Mean() != 0 {
+		t.Errorf("empty mean must be 0")
+	}
+}
+
+func TestHistogramTinyBound(t *testing.T) {
+	h := NewHistogram(0) // clamps to 1
+	h.Add(0)
+	h.Add(5)
+	if h.Bucket(0) != 1 || h.Overflow() != 1 {
+		t.Errorf("bound clamp misbehaved: %v", h)
+	}
+}
+
+func TestCDFMonotonicAndNormalized(t *testing.T) {
+	h := NewHistogram(50)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Intn(49))
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for i, v := range cdf {
+		if v < prev {
+			t.Fatalf("CDF decreasing at %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	if math.Abs(cdf[len(cdf)-1]-1.0) > 1e-12 {
+		t.Errorf("CDF must reach 1 with no overflow, got %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range h.CDF() {
+		if v != 0 {
+			t.Fatal("empty CDF must be all zero")
+		}
+	}
+	if h.Fraction(3) != 0 {
+		t.Fatal("empty Fraction must be 0")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(0)
+	h.Add(5)
+	h.Add(5)
+	h.Add(20) // overflow
+	if got := h.Fraction(4); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Fraction(4) = %v, want 0.25", got)
+	}
+	if got := h.Fraction(5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Fraction(5) = %v, want 0.75", got)
+	}
+	if got := h.Fraction(99); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Fraction beyond bound = %v, want 0.75", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 100; i++ {
+		h.Add(i - 1) // values 0..99 once each
+	}
+	if got := h.Percentile(0.5); got != 49 {
+		t.Errorf("p50 = %d, want 49", got)
+	}
+	if got := h.Percentile(1.0); got != 99 {
+		t.Errorf("p100 = %d, want 99", got)
+	}
+	if got := h.Percentile(0.01); got != 0 {
+		t.Errorf("p1 = %d, want 0", got)
+	}
+}
+
+func TestPercentileEmptyAndOverflow(t *testing.T) {
+	if NewHistogram(4).Percentile(0.5) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	h := NewHistogram(2)
+	h.Add(10)
+	if got := h.Percentile(0.9); got != 2 {
+		t.Errorf("all-overflow percentile = %d, want bound 2", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(0, 5) != 0 {
+		t.Error("zero baseline must yield 0")
+	}
+	if got := Speedup(2, 3); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Speedup(2,3) = %v, want 1.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean must be 0")
+	}
+	if got := GeoMean([]float64{-1, 0, 3}); math.Abs(got-3) > 1e-9 {
+		t.Errorf("GeoMean skipping non-positives = %v, want 3", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.AddRow("name", "ipc")
+	tb.AddRow("gcc", "2.31")
+	out := tb.String()
+	if !strings.Contains(out, "gcc") || !strings.Contains(out, "ipc") {
+		t.Errorf("table output missing cells: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("table rows = %d, want 2", len(lines))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+// Property: for any sample set, the CDF is monotonically non-decreasing and
+// bounded by 1, and Count equals the number of Add calls.
+func TestHistogramProperties(t *testing.T) {
+	f := func(samples []uint8) bool {
+		h := NewHistogram(64)
+		for _, s := range samples {
+			h.Add(int(s))
+		}
+		if h.Count() != uint64(len(samples)) {
+			return false
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile output is weakly increasing in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint8, a, b float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 1.0)
+		pb := math.Mod(math.Abs(b), 1.0)
+		if pa == 0 || pb == 0 {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		h := NewHistogram(64)
+		for _, s := range samples {
+			h.Add(int(s))
+		}
+		return h.Percentile(pa) <= h.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package uop
+
+import (
+	"testing"
+
+	"loosesim/internal/isa"
+	"loosesim/internal/regfile"
+)
+
+func TestNewDefaults(t *testing.T) {
+	in := isa.Inst{Op: isa.Load, Dest: 3, Src: [2]isa.Reg{1, isa.RegInvalid}}
+	u := New(in, 1, 42, 100)
+	if u.State != StateDecode {
+		t.Errorf("initial state = %v, want decode", u.State)
+	}
+	if u.Thread != 1 || u.Seq != 42 || u.FetchCycle != 100 {
+		t.Error("identity fields wrong")
+	}
+	if u.Dest != regfile.PRegInvalid || u.OldPhy != regfile.PRegInvalid {
+		t.Error("physical registers must start invalid")
+	}
+	for i := 0; i < 2; i++ {
+		if u.Src[i] != regfile.PRegInvalid || u.SrcAvail[i] != NoCycle {
+			t.Errorf("source %d not initialised", i)
+		}
+	}
+	for _, c := range []int64{u.EnterIQCycle, u.IssueCycle, u.ExecCycle, u.CompleteCycle, u.IQFreeCycle, u.DataReady} {
+		if c != NoCycle {
+			t.Error("timestamps must start at NoCycle")
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	ld := New(isa.Inst{Op: isa.Load}, 0, 1, 0)
+	br := New(isa.Inst{Op: isa.Branch}, 0, 2, 0)
+	alu := New(isa.Inst{Op: isa.IntALU}, 0, 3, 0)
+	if !ld.IsLoad() || ld.IsBranch() {
+		t.Error("load predicates wrong")
+	}
+	if !br.IsBranch() || br.IsLoad() {
+		t.Error("branch predicates wrong")
+	}
+	if alu.IsLoad() || alu.IsBranch() {
+		t.Error("alu predicates wrong")
+	}
+	if !ld.Older(br) || br.Older(ld) {
+		t.Error("age ordering wrong")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateDecode: "decode", StateWaiting: "waiting", StateIssued: "issued",
+		StateDone: "done", StateRetired: "retired", StateSquashed: "squashed",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if State(200).String() == "" {
+		t.Error("unknown state must render")
+	}
+}
+
+func TestUOpString(t *testing.T) {
+	u := New(isa.Inst{Op: isa.FPMul}, 0, 7, 0)
+	if u.String() == "" {
+		t.Error("empty uop string")
+	}
+}

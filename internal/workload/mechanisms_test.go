@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"loosesim/internal/isa"
+)
+
+func TestPCsCycleThroughFootprint(t *testing.T) {
+	p := profiles["swim"] // footprint 400
+	g := NewGenerator(p, 3, 0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5*p.CodeFootprint; i++ {
+		in := g.Next()
+		if in.Op == isa.Branch {
+			continue // branches carry site PCs
+		}
+		seen[in.PC] = true
+	}
+	if len(seen) > p.CodeFootprint {
+		t.Errorf("non-branch PCs span %d addresses, footprint is %d", len(seen), p.CodeFootprint)
+	}
+	if len(seen) < p.CodeFootprint/2 {
+		t.Errorf("PC coverage %d suspiciously small for footprint %d", len(seen), p.CodeFootprint)
+	}
+}
+
+func TestReloadSlotIsStaticProperty(t *testing.T) {
+	// The same PC slot must make the same reload decision on every
+	// traversal of the footprint, or PC-indexed memory dependence
+	// prediction could not work.
+	p := profiles["gcc"]
+	g := NewGenerator(p, 5, 0)
+	reloadByPC := map[uint64]bool{}
+	fp := uint64(p.CodeFootprint)
+	for i := uint64(1); i <= 6*fp; i++ {
+		slot := i % fp
+		h := (slot*2654435761 + 97) & 0xFFFFFFFF
+		want := float64(h)/float64(1<<32) < p.StoreReloadFrac
+		in := g.Next()
+		if in.Op != isa.Load {
+			continue
+		}
+		if prev, ok := reloadByPC[in.PC]; ok && prev != want {
+			t.Fatal("reload classification changed across iterations")
+		}
+		reloadByPC[in.PC] = want
+	}
+}
+
+func TestReloadLoadsHitRecentStoreAddresses(t *testing.T) {
+	p := profiles["gcc"]
+	g := NewGenerator(p, 7, 0)
+	recent := map[uint64]int{} // store addr -> index
+	matches, loads := 0, 0
+	for i := 0; i < 100_000; i++ {
+		in := g.Next()
+		switch in.Op {
+		case isa.Store:
+			recent[in.Addr] = i
+		case isa.Load:
+			loads++
+			if at, ok := recent[in.Addr]; ok && i-at < 2000 {
+				matches++
+			}
+		}
+	}
+	frac := float64(matches) / float64(loads)
+	if frac < p.StoreReloadFrac/2 {
+		t.Errorf("only %.3f of loads alias recent stores; profile asks for ~%.2f", frac, p.StoreReloadFrac)
+	}
+}
+
+func TestHotValueReuse(t *testing.T) {
+	p := profiles["apsi"] // heavy hot-value user
+	g := NewGenerator(p, 11, 0)
+	// Count how often a source repeats the same register many times in a
+	// short window — the hot-value signature.
+	window := make([]isa.Reg, 0, 256)
+	maxRun := 0
+	counts := map[isa.Reg]int{}
+	for i := 0; i < 20_000; i++ {
+		in := g.Next()
+		for _, s := range in.Src {
+			if !s.Valid() || s < isa.NumGlobalRegs {
+				continue
+			}
+			window = append(window, s)
+			counts[s]++
+			if counts[s] > maxRun {
+				maxRun = counts[s]
+			}
+			if len(window) == 256 {
+				old := window[0]
+				window = window[1:]
+				counts[old]--
+			}
+		}
+	}
+	// With HotValFrac ~0.4 a hot value collects dozens of consumers within
+	// a 256-operand window.
+	if maxRun < 10 {
+		t.Errorf("max same-register consumers in window = %d; hot values missing", maxRun)
+	}
+}
+
+func TestSerialChainExists(t *testing.T) {
+	p := profiles["apsi"]
+	g := NewGenerator(p, 13, 0)
+	// Detect chains: an arithmetic instruction whose src0 is the head of
+	// an existing chain extends it. apsi must grow very long chains.
+	// chainLen[r] is the length of the longest known dependency chain
+	// ending in architectural register r's current value; a writer reading
+	// r extends it. Keys are architectural registers, so the map is
+	// naturally bounded and overwritten on register reuse.
+	chainLen := map[isa.Reg]int{}
+	maxLen := 0
+	for i := 0; i < 50_000; i++ {
+		in := g.Next()
+		if !in.Dest.Valid() || in.Op == isa.Load {
+			continue
+		}
+		n := 1
+		if l, ok := chainLen[in.Src[0]]; ok {
+			n = l + 1
+		}
+		chainLen[in.Dest] = n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	// ChainFrac 0.40: the serial chain threads through thousands of
+	// instructions.
+	if maxLen < 500 {
+		t.Errorf("longest dependency chain = %d links; apsi needs long chains", maxLen)
+	}
+}
+
+func TestChainBranchesReadChain(t *testing.T) {
+	// su2cor-style: some branch conditions come from the chain register.
+	p := profiles["su2cor"]
+	g := NewGenerator(p, 17, 0)
+	dests := map[isa.Reg]bool{}
+	chainHits, branches := 0, 0
+	var lastChain isa.Reg = isa.RegInvalid
+	for i := 0; i < 100_000; i++ {
+		in := g.Next()
+		if in.Dest.Valid() {
+			dests[in.Dest] = true
+			lastChain = in.Dest // approximation: any recent dest
+		}
+		if in.Op == isa.Branch {
+			branches++
+			if in.Src[0] == lastChain {
+				chainHits++
+			}
+		}
+	}
+	if branches == 0 || chainHits == 0 {
+		t.Errorf("branches=%d chain-fed=%d; expected chain-fed branch conditions", branches, chainHits)
+	}
+}

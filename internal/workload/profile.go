@@ -1,0 +1,328 @@
+// Package workload generates the synthetic instruction streams that stand in
+// for the paper's Spec95 traces. The paper's results depend on per-program
+// *rates* — branch density and predictability, load density and cache miss
+// rates, dependency-chain structure (ILP), and operand-reuse distance — not
+// on Alpha semantics, so each benchmark is modelled as a parameter profile
+// and a deterministic seeded generator that reproduces those rates through
+// the simulator's real predictors and caches.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterises one benchmark's synthetic instruction stream.
+type Profile struct {
+	// Name is the benchmark label used in reports.
+	Name string
+
+	// Instruction mix: fractions of the dynamic stream. The remainder
+	// after all listed classes is single-cycle integer ALU work.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPAddFrac  float64
+	FPMulFrac  float64
+	FPDivFrac  float64
+	IntMulFrac float64
+
+	// Dependency structure.
+	//
+	// DepGeoP is the geometric-distribution parameter for dependency
+	// distance: a source reads the value produced d = 1+Geom(DepGeoP)
+	// register-writing instructions earlier. Larger p means shorter
+	// distances (tighter chains, less ILP).
+	DepGeoP float64
+	// ChainFrac is the fraction of register-writing instructions whose
+	// first source is forced to the immediately preceding result,
+	// creating serial chains (high for apsi — the paper's low-ILP case).
+	ChainFrac float64
+	// GlobalRegFrac is the fraction of sources reading long-lived global
+	// registers (stack/global pointer) — the paper's completed operands.
+	GlobalRegFrac float64
+	// FarSrcFrac is the fraction of sources that read a far-back producer
+	// (uniform distance over the back half of the rename window),
+	// stressing operand lifetimes beyond the forwarding buffer.
+	FarSrcFrac float64
+	// TwoSrcFrac is the fraction of arithmetic instructions with two
+	// register sources.
+	TwoSrcFrac float64
+	// HotValFrac is the fraction of sources that read the current "hot
+	// value" — a recently computed, heavily reused result (a loop
+	// invariant inside an unrolled loop). Hot values have many consumers
+	// spread across clusters and time; they are what saturate the DRA's
+	// 2-bit insertion counters (paper Section 5.4).
+	HotValFrac float64
+	// HotValPeriod is the number of register writes between hot-value
+	// rotations; longer periods mean more consumers per hot value. Must
+	// be positive when HotValFrac is.
+	HotValPeriod int
+
+	// Branch behaviour: branches come from a population of static sites.
+	// BiasedSiteFrac of dynamic branches use strongly biased sites,
+	// PatternSiteFrac use short periodic (loop-exit style) sites, and the
+	// remainder use data-dependent noisy sites that defeat prediction.
+	BiasedSiteFrac  float64
+	PatternSiteFrac float64
+
+	// Memory behaviour. Data accesses are drawn from four regions:
+	//
+	//   - streams: NumStreams sequential walks with the given stride over
+	//     a StreamBytes region — array sweeps. Line misses occur every
+	//     line-size/stride accesses; sweeps larger than a cache level
+	//     miss it sustainably (this is the hydro/mgrid memory-bound
+	//     mechanism).
+	//   - mid: uniform random over MidBytes — scattered structure
+	//     accesses; miss rate set by MidBytes versus cache capacity.
+	//   - page walks: strided walks that cross pages frequently, the
+	//     turb3d mechanism for data-TLB pressure.
+	//   - hot: uniform random over HotBytes (cache-resident) — the
+	//     remainder, modelling stack and hot globals.
+	// CodeFootprint is the static code size in instructions; the
+	// instruction stream's PCs cycle through it, giving loads recurring
+	// addresses (loop structure) that PC-indexed predictors such as the
+	// store-wait table can learn.
+	CodeFootprint int
+
+	// StoreReloadFrac is the fraction of loads that re-read an address
+	// written by a recent store (register spills, struct fields) — the
+	// read-after-write-through-memory traffic that feeds store-to-load
+	// forwarding and, when a load issues too early, memory-order traps.
+	StoreReloadFrac float64
+
+	StreamFrac   float64
+	StreamBytes  uint64
+	NumStreams   int
+	Stride       uint64
+	MidFrac      float64
+	MidBytes     uint64
+	PageWalkFrac float64
+	PageWalkSpan uint64
+	PageStride   uint64
+	HotBytes     uint64
+}
+
+// Validate reports configuration errors (fractions out of range or an
+// over-committed mix).
+func (p Profile) Validate() error {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.FPAddFrac + p.FPMulFrac + p.FPDivFrac + p.IntMulFrac
+	if sum > 1.0+1e-9 {
+		return fmt.Errorf("workload %s: instruction mix sums to %.3f > 1", p.Name, sum)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac}, {"BranchFrac", p.BranchFrac},
+		{"FPAddFrac", p.FPAddFrac}, {"FPMulFrac", p.FPMulFrac}, {"FPDivFrac", p.FPDivFrac},
+		{"IntMulFrac", p.IntMulFrac}, {"ChainFrac", p.ChainFrac}, {"GlobalRegFrac", p.GlobalRegFrac},
+		{"FarSrcFrac", p.FarSrcFrac}, {"TwoSrcFrac", p.TwoSrcFrac},
+		{"BiasedSiteFrac", p.BiasedSiteFrac}, {"PatternSiteFrac", p.PatternSiteFrac},
+		{"StreamFrac", p.StreamFrac}, {"MidFrac", p.MidFrac}, {"PageWalkFrac", p.PageWalkFrac},
+		{"StoreReloadFrac", p.StoreReloadFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("workload %s: %s = %v out of [0,1]", p.Name, f.name, f.v)
+		}
+	}
+	if p.DepGeoP <= 0 || p.DepGeoP >= 1 {
+		return fmt.Errorf("workload %s: DepGeoP = %v out of (0,1)", p.Name, p.DepGeoP)
+	}
+	if p.BiasedSiteFrac+p.PatternSiteFrac > 1+1e-9 {
+		return fmt.Errorf("workload %s: branch site fractions sum to > 1", p.Name)
+	}
+	if p.StreamFrac+p.MidFrac+p.PageWalkFrac > 1+1e-9 {
+		return fmt.Errorf("workload %s: memory region fractions sum to > 1", p.Name)
+	}
+	if p.HotBytes == 0 || p.StreamBytes == 0 || p.MidBytes == 0 {
+		return fmt.Errorf("workload %s: zero-sized memory region", p.Name)
+	}
+	if p.NumStreams < 1 {
+		return fmt.Errorf("workload %s: NumStreams must be >= 1", p.Name)
+	}
+	if p.Stride == 0 {
+		return fmt.Errorf("workload %s: zero stride", p.Name)
+	}
+	if p.PageWalkFrac > 0 && (p.PageWalkSpan == 0 || p.PageStride == 0) {
+		return fmt.Errorf("workload %s: page-walk fraction without span/stride", p.Name)
+	}
+	if p.HotValFrac < 0 || p.HotValFrac > 1 {
+		return fmt.Errorf("workload %s: HotValFrac = %v out of [0,1]", p.Name, p.HotValFrac)
+	}
+	if p.HotValFrac > 0 && p.HotValPeriod < 1 {
+		return fmt.Errorf("workload %s: HotValFrac without a positive HotValPeriod", p.Name)
+	}
+	if p.CodeFootprint < 1 {
+		return fmt.Errorf("workload %s: CodeFootprint must be >= 1", p.Name)
+	}
+	return nil
+}
+
+// Workload is what the simulator runs: one profile per hardware thread.
+type Workload struct {
+	Name    string
+	Threads []Profile
+}
+
+// profiles holds the calibrated Spec95 benchmark models. Calibration
+// targets come from the paper's own characterisation (Section 3.1):
+// compress/gcc/go are branchy with poor prediction and non-trivial load
+// misses; m88ksim is branchy but predictable; swim/turb3d are load-heavy
+// with L1 misses that hit in L2 (turb3d adds data-TLB misses); hydro2d and
+// mgrid miss in L2 and are bound by memory latency; apsi has long narrow
+// dependency chains (low ILP); su2cor mis-speculates rarely but queues
+// deeply.
+var profiles = map[string]Profile{
+	"comp": {
+		Name: "comp", LoadFrac: 0.22, StoreFrac: 0.09, BranchFrac: 0.16, IntMulFrac: 0.01,
+		DepGeoP: 0.30, ChainFrac: 0.10, GlobalRegFrac: 0.10, FarSrcFrac: 0.02, TwoSrcFrac: 0.55,
+		BiasedSiteFrac: 0.66, PatternSiteFrac: 0.21,
+		CodeFootprint:   800,
+		StoreReloadFrac: 0.10,
+		StreamFrac:      0.35, StreamBytes: 128 << 10, NumStreams: 4, Stride: 8,
+		MidFrac: 0.06, MidBytes: 448 << 10, HotBytes: 32 << 10,
+	},
+	"gcc": {
+		Name: "gcc", LoadFrac: 0.24, StoreFrac: 0.11, BranchFrac: 0.17, IntMulFrac: 0.01,
+		DepGeoP: 0.32, ChainFrac: 0.08, GlobalRegFrac: 0.14, FarSrcFrac: 0.03, TwoSrcFrac: 0.50,
+		BiasedSiteFrac: 0.70, PatternSiteFrac: 0.19,
+		CodeFootprint:   4000,
+		StoreReloadFrac: 0.12,
+		StreamFrac:      0.40, StreamBytes: 128 << 10, NumStreams: 6, Stride: 8,
+		MidFrac: 0.05, MidBytes: 448 << 10, HotBytes: 32 << 10,
+	},
+	"go": {
+		Name: "go", LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.15, IntMulFrac: 0.01,
+		DepGeoP: 0.30, ChainFrac: 0.08, GlobalRegFrac: 0.12, FarSrcFrac: 0.03, TwoSrcFrac: 0.52,
+		BiasedSiteFrac: 0.60, PatternSiteFrac: 0.18,
+		CodeFootprint:   3000,
+		StoreReloadFrac: 0.11,
+		StreamFrac:      0.30, StreamBytes: 96 << 10, NumStreams: 4, Stride: 8,
+		MidFrac: 0.04, MidBytes: 384 << 10, HotBytes: 32 << 10,
+	},
+	"m88": {
+		Name: "m88", LoadFrac: 0.20, StoreFrac: 0.08, BranchFrac: 0.12, IntMulFrac: 0.01,
+		DepGeoP: 0.28, ChainFrac: 0.06, GlobalRegFrac: 0.14, FarSrcFrac: 0.02, TwoSrcFrac: 0.50,
+		BiasedSiteFrac: 0.88, PatternSiteFrac: 0.11,
+		CodeFootprint:   1500,
+		StoreReloadFrac: 0.14,
+		StreamFrac:      0.40, StreamBytes: 32 << 10, NumStreams: 4, Stride: 8,
+		MidFrac: 0.01, MidBytes: 256 << 10, HotBytes: 24 << 10,
+	},
+	"apsi": {
+		Name: "apsi", LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.05,
+		FPAddFrac: 0.18, FPMulFrac: 0.14, FPDivFrac: 0.004, IntMulFrac: 0.01,
+		DepGeoP: 0.55, ChainFrac: 0.40, GlobalRegFrac: 0.06, FarSrcFrac: 0.14, TwoSrcFrac: 0.75,
+		HotValFrac: 0.42, HotValPeriod: 52,
+		BiasedSiteFrac: 0.84, PatternSiteFrac: 0.13,
+		CodeFootprint:   1200,
+		StoreReloadFrac: 0.08,
+		StreamFrac:      0.50, StreamBytes: 320 << 10, NumStreams: 6, Stride: 8,
+		MidFrac: 0.06, MidBytes: 5 << 20, HotBytes: 32 << 10,
+	},
+	"hydro": {
+		Name: "hydro", LoadFrac: 0.30, StoreFrac: 0.12, BranchFrac: 0.04,
+		FPAddFrac: 0.20, FPMulFrac: 0.14, FPDivFrac: 0.002,
+		DepGeoP: 0.07, ChainFrac: 0.03, GlobalRegFrac: 0.08, FarSrcFrac: 0.03, TwoSrcFrac: 0.65,
+		BiasedSiteFrac: 0.86, PatternSiteFrac: 0.12,
+		CodeFootprint:   600,
+		StoreReloadFrac: 0.05,
+		StreamFrac:      0.75, StreamBytes: 8 << 20, NumStreams: 8, Stride: 8,
+		MidFrac: 0.03, MidBytes: 512 << 10, HotBytes: 32 << 10,
+	},
+	"mgrid": {
+		Name: "mgrid", LoadFrac: 0.33, StoreFrac: 0.10, BranchFrac: 0.03,
+		FPAddFrac: 0.22, FPMulFrac: 0.15,
+		DepGeoP: 0.06, ChainFrac: 0.02, GlobalRegFrac: 0.07, FarSrcFrac: 0.02, TwoSrcFrac: 0.68,
+		BiasedSiteFrac: 0.90, PatternSiteFrac: 0.08,
+		CodeFootprint:   400,
+		StoreReloadFrac: 0.04,
+		StreamFrac:      0.85, StreamBytes: 16 << 20, NumStreams: 10, Stride: 8,
+		MidFrac: 0.02, MidBytes: 448 << 10, HotBytes: 32 << 10,
+	},
+	"su2cor": {
+		Name: "su2cor", LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.06,
+		FPAddFrac: 0.18, FPMulFrac: 0.14, FPDivFrac: 0.006,
+		DepGeoP: 0.25, ChainFrac: 0.18, GlobalRegFrac: 0.08, FarSrcFrac: 0.05, TwoSrcFrac: 0.66,
+		BiasedSiteFrac: 0.86, PatternSiteFrac: 0.12,
+		CodeFootprint:   1000,
+		StoreReloadFrac: 0.07,
+		StreamFrac:      0.55, StreamBytes: 320 << 10, NumStreams: 6, Stride: 8,
+		MidFrac: 0.03, MidBytes: 384 << 10, HotBytes: 32 << 10,
+	},
+	"swim": {
+		Name: "swim", LoadFrac: 0.30, StoreFrac: 0.14, BranchFrac: 0.02,
+		FPAddFrac: 0.22, FPMulFrac: 0.16,
+		DepGeoP: 0.07, ChainFrac: 0.03, GlobalRegFrac: 0.08, FarSrcFrac: 0.04, TwoSrcFrac: 0.62,
+		BiasedSiteFrac: 0.95, PatternSiteFrac: 0.04,
+		CodeFootprint:   400,
+		StoreReloadFrac: 0.05,
+		StreamFrac:      0.80, StreamBytes: 320 << 10, NumStreams: 8, Stride: 8,
+		MidFrac: 0.05, MidBytes: 192 << 10, HotBytes: 32 << 10,
+	},
+	"turb3d": {
+		Name: "turb3d", LoadFrac: 0.30, StoreFrac: 0.10, BranchFrac: 0.05,
+		FPAddFrac: 0.17, FPMulFrac: 0.13, FPDivFrac: 0.002, IntMulFrac: 0.01,
+		DepGeoP: 0.07, ChainFrac: 0.03, GlobalRegFrac: 0.07, FarSrcFrac: 0.06, TwoSrcFrac: 0.62,
+		BiasedSiteFrac: 0.88, PatternSiteFrac: 0.10,
+		CodeFootprint:   1000,
+		StoreReloadFrac: 0.06,
+		StreamFrac:      0.55, StreamBytes: 384 << 10, NumStreams: 6, Stride: 8,
+		MidFrac: 0.04, MidBytes: 256 << 10, HotBytes: 32 << 10,
+		// FFT column walks: large strides that cross a page every few
+		// accesses, giving turb3d its data-TLB misses.
+		PageWalkFrac: 0.05, PageWalkSpan: 2 << 20, PageStride: 2048,
+	},
+}
+
+// smtPairs lists the paper's multi-threaded benchmark pairs.
+var smtPairs = map[string][2]string{
+	"m88-comp":  {"m88", "comp"},
+	"go-su2cor": {"go", "su2cor"},
+	"apsi-swim": {"apsi", "swim"},
+}
+
+// ByName returns the workload (single- or multi-threaded) with the given
+// benchmark name.
+func ByName(name string) (Workload, error) {
+	if p, ok := profiles[name]; ok {
+		return Workload{Name: name, Threads: []Profile{p}}, nil
+	}
+	if pair, ok := smtPairs[name]; ok {
+		return Workload{
+			Name:    name,
+			Threads: []Profile{profiles[pair[0]], profiles[pair[1]]},
+		}, nil
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
+}
+
+// Names returns every benchmark name, single-threaded first, sorted within
+// each group.
+func Names() []string {
+	var singles, pairs []string
+	for n := range profiles {
+		singles = append(singles, n)
+	}
+	for n := range smtPairs {
+		pairs = append(pairs, n)
+	}
+	sort.Strings(singles)
+	sort.Strings(pairs)
+	return append(singles, pairs...)
+}
+
+// PaperOrder returns the benchmarks in the order the paper's figures plot
+// them: integer, floating point, then multi-threaded.
+func PaperOrder() []string {
+	return []string{
+		"comp", "gcc", "go", "m88",
+		"apsi", "hydro", "mgrid", "su2cor", "swim", "turb3d",
+		"m88-comp", "go-su2cor", "apsi-swim",
+	}
+}
+
+// SingleThreaded returns the ten single-threaded benchmark names in paper
+// order.
+func SingleThreaded() []string { return PaperOrder()[:10] }

@@ -1,0 +1,123 @@
+// Package loosesim is a cycle-level reproduction of "Loose Loops Sink
+// Chips" (Borch, Tune, Manne, Emer — HPCA 2002): an 8-wide clustered SMT
+// out-of-order processor simulator built to study micro-architectural
+// loops — the branch resolution loop, the load resolution loop, and the
+// operand resolution loop introduced by the paper's contribution, the
+// Distributed Register Algorithm (DRA).
+//
+// The package is a thin facade over the internal simulator. Typical use:
+//
+//	cfg, _ := loosesim.BaseMachine("gcc", 3)
+//	res, _ := loosesim.Run(cfg)
+//	fmt.Println(res.IPC())
+//
+// Configurations are plain structs; adjust any field before Run. The
+// DRAMachine/BaseMachine constructors implement the paper's Section 6
+// latency arithmetic for a given register file access time.
+package loosesim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"loosesim/internal/pipeline"
+	"loosesim/internal/workload"
+)
+
+// Config describes one simulation; see pipeline.Config for all fields.
+type Config = pipeline.Config
+
+// Result is a simulation's measurement-window outcome.
+type Result = pipeline.Result
+
+// Load-recovery policies for the load resolution loop.
+const (
+	LoadReissue = pipeline.LoadReissue
+	LoadRefetch = pipeline.LoadRefetch
+	LoadStall   = pipeline.LoadStall
+)
+
+// Memory dependence loop policies.
+const (
+	MemDepStoreWait    = pipeline.MemDepStoreWait
+	MemDepBlind        = pipeline.MemDepBlind
+	MemDepConservative = pipeline.MemDepConservative
+)
+
+// CycleStack is the cycle-accounting breakdown attached to every Result.
+type CycleStack = pipeline.CycleStack
+
+// Benchmarks returns every available benchmark name in the paper's plotting
+// order: four integer, six floating point, three SMT pairs.
+func Benchmarks() []string { return workload.PaperOrder() }
+
+// Workload looks up a benchmark by name.
+func Workload(name string) (workload.Workload, error) { return workload.ByName(name) }
+
+// DefaultMachine returns the paper's base machine (DEC-IQ 5, IQ-EX 5,
+// 3-cycle register file) running the named benchmark.
+func DefaultMachine(bench string) (Config, error) {
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		return Config{}, err
+	}
+	return pipeline.DefaultConfig(wl), nil
+}
+
+// BaseMachine returns the base (non-DRA) machine for a register file access
+// latency of regReadLat cycles: IQ-EX = 2 + regReadLat, DEC-IQ = 5.
+func BaseMachine(bench string, regReadLat int) (Config, error) {
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		return Config{}, err
+	}
+	return pipeline.BaseConfigRF(wl, regReadLat), nil
+}
+
+// DRAMachine returns the DRA machine for a register file access latency of
+// regReadLat cycles: IQ-EX = 3, DEC-IQ = max(5, 2 + regReadLat).
+func DRAMachine(bench string, regReadLat int) (Config, error) {
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		return Config{}, err
+	}
+	return pipeline.DRAConfigRF(wl, regReadLat), nil
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	m, err := pipeline.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// RunAll executes a batch of independent simulations, fanning out across
+// CPUs, and returns results in input order. The first configuration error
+// aborts the batch; simulations already running complete first.
+func RunAll(cfgs []Config) ([]*Result, error) {
+	machines := make([]*pipeline.Machine, len(cfgs))
+	for i, cfg := range cfgs {
+		m, err := pipeline.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+		machines[i] = m
+	}
+	results := make([]*Result, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		wg.Add(1)
+		go func(i int, m *pipeline.Machine) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = m.Run()
+		}(i, m)
+	}
+	wg.Wait()
+	return results, nil
+}

@@ -1,0 +1,125 @@
+package loosesim_test
+
+import (
+	"strings"
+	"testing"
+
+	"loosesim"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	b := loosesim.Benchmarks()
+	if len(b) != 13 {
+		t.Fatalf("benchmark count = %d, want 13", len(b))
+	}
+	for _, name := range b {
+		if _, err := loosesim.Workload(name); err != nil {
+			t.Errorf("Workload(%q): %v", name, err)
+		}
+	}
+}
+
+func TestWorkloadUnknown(t *testing.T) {
+	if _, err := loosesim.Workload("zork"); err == nil {
+		t.Error("unknown workload must error")
+	} else if !strings.Contains(err.Error(), "zork") {
+		t.Errorf("error should name the benchmark: %v", err)
+	}
+}
+
+func TestMachineConstructors(t *testing.T) {
+	base, err := loosesim.BaseMachine("gcc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.UseDRA || base.IQExLat != 7 || base.DecIQLat != 5 {
+		t.Errorf("BaseMachine(gcc,5) = %d_%d dra=%v", base.DecIQLat, base.IQExLat, base.UseDRA)
+	}
+	dra, err := loosesim.DRAMachine("gcc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dra.UseDRA || dra.IQExLat != 3 || dra.DecIQLat != 7 {
+		t.Errorf("DRAMachine(gcc,5) = %d_%d dra=%v", dra.DecIQLat, dra.IQExLat, dra.UseDRA)
+	}
+	def, err := loosesim.DefaultMachine("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.DecIQLat != 5 || def.IQExLat != 5 {
+		t.Error("DefaultMachine must be the 5_5 base")
+	}
+	if _, err := loosesim.BaseMachine("nope", 3); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+func TestRunProducesResult(t *testing.T) {
+	cfg, err := loosesim.DefaultMachine("m88")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmupInstructions = 10_000
+	cfg.MeasureInstructions = 20_000
+	res, err := loosesim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Error("IPC must be positive")
+	}
+	if res.Benchmark != "m88" {
+		t.Errorf("benchmark label = %q", res.Benchmark)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg, _ := loosesim.DefaultMachine("m88")
+	cfg.IQEntries = 0
+	if _, err := loosesim.Run(cfg); err == nil {
+		t.Error("bad config must error")
+	}
+}
+
+func TestRunAllOrderAndParity(t *testing.T) {
+	mk := func(bench string) loosesim.Config {
+		cfg, err := loosesim.DefaultMachine(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.WarmupInstructions = 5_000
+		cfg.MeasureInstructions = 10_000
+		return cfg
+	}
+	cfgs := []loosesim.Config{mk("gcc"), mk("m88"), mk("swim")}
+	results, err := loosesim.RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("result count = %d", len(results))
+	}
+	for i, want := range []string{"gcc", "m88", "swim"} {
+		if results[i].Benchmark != want {
+			t.Errorf("result %d = %q, want %q (order must be preserved)", i, results[i].Benchmark, want)
+		}
+	}
+	// Parity with a serial run of the same config (determinism across the
+	// concurrent path).
+	serial, err := loosesim.Run(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Counters != results[0].Counters {
+		t.Error("RunAll result differs from serial Run for identical config")
+	}
+}
+
+func TestRunAllBadConfig(t *testing.T) {
+	cfg, _ := loosesim.DefaultMachine("gcc")
+	bad := cfg
+	bad.FetchWidth = 0
+	if _, err := loosesim.RunAll([]loosesim.Config{cfg, bad}); err == nil {
+		t.Error("RunAll must reject a bad config")
+	}
+}
