@@ -1,0 +1,123 @@
+// Command simlint runs the simulator's domain-specific static-analysis
+// suite (internal/analysis) over the module: determinism, config hygiene,
+// loop safety, and error discipline, with vet-style file:line:col output.
+//
+// Usage:
+//
+//	simlint [flags] [packages]
+//
+// Packages follow go-tool patterns relative to the module root: `./...`
+// (the default), `./internal/...`, `./internal/pipeline`. The tool exits 0
+// when clean, 1 when it found problems, and 2 on a load or usage error.
+//
+// Flags:
+//
+//	-json       emit findings as a JSON array instead of text
+//	-list       list the available analyzers and exit
+//	-enable     comma-separated analyzers to run (default "all")
+//	-disable    comma-separated analyzers to skip
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"loosesim/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	enable := fs.String("enable", "all", "comma-separated analyzers to run")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := analysis.ByName(*enable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	if *disable != "" {
+		skip, err := analysis.ByName(*disable)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		skipNames := make(map[string]bool)
+		for _, a := range skip {
+			skipNames[a.Name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if !skipNames[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "simlint: patterns %v matched no packages\n", fs.Args())
+		return 2
+	}
+
+	diags := analysis.RunAnalyzers(loader, pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMap returns the detmap analyzer: it flags `range` statements over map
+// types in the simulator's internal packages, where Go's randomised
+// iteration order can leak into simulator state or report output and cause
+// run-to-run IPC jitter — precisely the nondeterminism that would swamp the
+// paper's few-percent effects.
+//
+// A range over a map is accepted when the enclosing function visibly
+// restores determinism afterwards by sorting what the loop collected: any
+// call to sort.* or slices.Sort* lexically after the loop's start counts
+// (the SortedKeys idiom). Anything cleverer needs a
+// `// simlint:ignore detmap <reason>` comment.
+func DetMap() *Analyzer {
+	a := &Analyzer{
+		Name:      "detmap",
+		Doc:       "flags range over maps whose iteration order can reach state or output",
+		AppliesTo: internalOnly,
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				fn, ok := funcNode(n)
+				if !ok {
+					return true
+				}
+				body := fn.body()
+				if body == nil {
+					return true
+				}
+				checkMapRanges(pass, body)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// funcish unifies *ast.FuncDecl and *ast.FuncLit.
+type funcish struct {
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+}
+
+func funcNode(n ast.Node) (funcish, bool) {
+	switch f := n.(type) {
+	case *ast.FuncDecl:
+		return funcish{decl: f}, true
+	case *ast.FuncLit:
+		return funcish{lit: f}, true
+	}
+	return funcish{}, false
+}
+
+func (f funcish) body() *ast.BlockStmt {
+	if f.decl != nil {
+		return f.decl.Body
+	}
+	return f.lit.Body
+}
+
+// checkMapRanges reports unsorted map ranges directly inside body
+// (descending into nested blocks but not nested function literals, which
+// get their own visit).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortedAfter(pass, body, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"range over map %s: iteration order is nondeterministic; iterate sorted keys (stats.SortedKeys) or sort the collected results",
+			types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+}
+
+// sortedAfter reports whether a sort call appears in body at or after the
+// range statement's position — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.Pos() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := packageOf(pass, sel); pkg == "sort" || pkg == "slices" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// packageOf returns the package name a selector's receiver resolves to, or
+// "" when the receiver is not a package.
+func packageOf(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Name()
+}

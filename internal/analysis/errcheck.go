@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite returns the errcheck-lite analyzer: it flags statements that
+// call a function returning an error and drop the result on the floor. A
+// simulator that swallows errors reports numbers computed from a state it
+// never checked; every error must be handled, propagated, or explicitly
+// discarded with `_ =` (which at least leaves an auditable mark).
+//
+// Infallible writers are exempt: calls whose error provably cannot occur —
+// fmt.Fprint* into a *strings.Builder or *bytes.Buffer, and methods on
+// *strings.Builder itself (its Write methods are documented to always
+// return a nil error) — would only add `_ =` noise.
+func ErrCheckLite() *Analyzer {
+	a := &Analyzer{
+		Name:      "errcheck-lite",
+		Doc:       "flags call statements that silently discard an error result",
+		AppliesTo: internalOnly,
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = s.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = s.Call
+				case *ast.DeferStmt:
+					call = s.Call
+				}
+				if call == nil {
+					return true
+				}
+				if !returnsError(pass, call) || isInfallible(pass, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"result of %s includes an error that is silently discarded; handle it or assign it to _",
+					callName(call))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isInfallible recognises the documented cannot-fail writer patterns.
+func isInfallible(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Fprint/Fprintf/Fprintln into an in-memory buffer.
+	if packageOf(pass, sel) == "fmt" {
+		switch sel.Sel.Name {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				return isMemWriter(pass, call.Args[0])
+			}
+		}
+		return false
+	}
+	// Methods on *strings.Builder / *bytes.Buffer.
+	if tv, ok := pass.Info.Types[sel.X]; ok {
+		return isMemWriterType(tv.Type)
+	}
+	return false
+}
+
+func isMemWriter(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.Info.Types[arg]
+	return ok && isMemWriterType(tv.Type)
+}
+
+func isMemWriterType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return path == "strings" && name == "Builder" || path == "bytes" && name == "Buffer"
+}
+
+// callName renders the called expression for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

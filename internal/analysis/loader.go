@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package of the module under analysis.
+type Package struct {
+	Path  string // import path, e.g. loosesim/internal/pipeline
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and typechecks the module rooted at a directory containing
+// go.mod, resolving module-local imports from the parsed tree and standard
+// library imports from GOROOT source. It never invokes the go command or
+// the network, so it works in offline builds.
+//
+// Only non-test files are loaded: the analyzers deliberately exempt tests
+// (which are free to iterate maps, use wall clocks, and drop errors), and
+// skipping them keeps the typecheck closed over production code.
+type Loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	modulePath string
+	root       string
+	pkgs       map[string]*Package // by import path
+}
+
+// NewLoader prepares a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{fset: fset, std: std, modulePath: mod, root: abs,
+		pkgs: make(map[string]*Package)}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (run simlint from inside the module)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// Load parses and typechecks every package of the module matched by the
+// given patterns ("./..." or empty for all; "./x/..." for a subtree; "./x"
+// or "module/x" for one package), in dependency order.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	parsed := make(map[string]*Package, len(dirs))
+	imports := make(map[string][]string)
+	for _, dir := range dirs {
+		pkg, imps, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable files
+		}
+		parsed[pkg.Path] = pkg
+		imports[pkg.Path] = imps
+	}
+
+	order, err := topoSort(parsed, imports)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range order {
+		if err := l.typecheck(parsed[path]); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, path := range order {
+		if matchesAny(path, l.modulePath, patterns) {
+			out = append(out, parsed[path])
+		}
+	}
+	return out, nil
+}
+
+// packageDirs enumerates candidate package directories under the module
+// root, skipping testdata, hidden, and vendor trees.
+func (l *Loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses dir's non-test Go files. It returns nil if the directory
+// holds no buildable sources.
+func (l *Loader) parseDir(dir string) (*Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := l.modulePath
+	if rel != "." {
+		path = l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	var imps []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if l.isLocal(p) && !seen[p] {
+				seen[p] = true
+				imps = append(imps, p)
+			}
+		}
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, imps, nil
+}
+
+func (l *Loader) isLocal(importPath string) bool {
+	return importPath == l.modulePath || strings.HasPrefix(importPath, l.modulePath+"/")
+}
+
+// typecheck runs go/types over pkg. Module-local imports resolve from
+// already-typechecked packages; everything else falls through to the GOROOT
+// source importer.
+func (l *Loader) typecheck(pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: &moduleImporter{loader: l}}
+	tpkg, err := conf.Check(pkg.Path, l.fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("typecheck %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[pkg.Path] = pkg
+	return nil
+}
+
+// moduleImporter resolves imports during typechecking.
+type moduleImporter struct {
+	loader *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if m.loader.isLocal(path) {
+		pkg, ok := m.loader.pkgs[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: local import %q not yet typechecked (import cycle?)", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.loader.std.ImportFrom(path, m.loader.root, 0)
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importer.
+func topoSort(pkgs map[string]*Package, imports map[string][]string) ([]string, error) {
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		deps := append([]string(nil), imports[path]...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := pkgs[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var roots []string
+	for path := range pkgs {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// matchesAny reports whether the import path is selected by the patterns.
+func matchesAny(path, modulePath string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if matches(path, modulePath, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func matches(path, modulePath, pat string) bool {
+	pat = strings.TrimSuffix(pat, "/")
+	switch pat {
+	case "", "./...", "...", "all":
+		return true
+	case ".":
+		return path == modulePath
+	}
+	// Normalise "./x" and "x" to "module/x".
+	p := strings.TrimPrefix(pat, "./")
+	if !strings.HasPrefix(p, modulePath) {
+		p = modulePath + "/" + p
+	}
+	if rest, ok := strings.CutSuffix(p, "/..."); ok {
+		return path == rest || strings.HasPrefix(path, rest+"/")
+	}
+	return path == p
+}

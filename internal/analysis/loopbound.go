@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// boundLexicon are the identifier fragments (matched case-insensitively)
+// that mark a loop condition as tied to a simulation budget: cycle
+// counters, instruction budgets, queue and window occupancies, credit and
+// deadline schemes. A loop whose exit depends on one of these is, by
+// construction, bounded by the quantity the simulator is accounting.
+var boundLexicon = []string{
+	"cycle", "budget", "count", "retire", "measure", "warmup", "instr",
+	"len", "cap", "size", "max", "min", "limit", "bound", "depth",
+	"entries", "width", "remain", "credit", "fuel", "quota", "deadline",
+	"inflight", "horizon", "n",
+}
+
+// LoopBound returns the loopbound analyzer: in the cycle-accurate core
+// (internal/pipeline, internal/core) every `for` loop must demonstrably
+// make progress toward an exit — the simulator that reproduces "loose
+// loops" must not be able to hang in one of its own.
+//
+// A non-range for statement is accepted when any of the following holds:
+//
+//   - it is a counted loop (both init and post clauses present);
+//   - its condition mentions len()/cap() or an identifier drawn from the
+//     budget lexicon (cycle, budget, retired, measure, limit, ...);
+//   - its condition mentions a variable the loop body assigns or
+//     increments/decrements — visible progress on the exit variable;
+//   - its body contains a break, return, goto, or panic — an explicit exit;
+//   - it carries a `// simlint:bounded <why>` comment.
+//
+// Range loops are always bounded (the simulator ranges over slices and
+// fixed arrays; channels do not appear in the core).
+func LoopBound() *Analyzer {
+	a := &Analyzer{
+		Name: "loopbound",
+		Doc:  "requires every for loop in the cycle-accurate core to have a visible bound or exit",
+		AppliesTo: func(pkgPath string) bool {
+			return strings.HasSuffix(pkgPath, "internal/pipeline") ||
+				strings.HasSuffix(pkgPath, "internal/core")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			f := file
+			ast.Inspect(f, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				if loopIsBounded(pass, loop) {
+					return true
+				}
+				line := pass.Fset.Position(loop.Pos()).Line
+				if hasMarker(pass.Fset, f, line, "simlint:bounded") {
+					return true
+				}
+				what := "for loop condition shows no progress toward an exit"
+				if loop.Cond == nil {
+					what = "unconditional for loop has no exit"
+				}
+				pass.Reportf(loop.Pos(),
+					"%s: tie the condition to a cycle/budget/queue bound, add an explicit break, or mark it `// simlint:bounded <why>`",
+					what)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func loopIsBounded(pass *Pass, loop *ast.ForStmt) bool {
+	if loop.Init != nil && loop.Post != nil {
+		return true // counted loop
+	}
+	if condIsBudgeted(loop.Cond) {
+		return true
+	}
+	if condVarAdvancedInBody(loop) {
+		return true
+	}
+	return hasExplicitExit(loop.Body)
+}
+
+// condIsBudgeted reports whether the condition references len/cap or an
+// identifier matching the budget lexicon.
+func condIsBudgeted(cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	budgeted := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		for _, w := range boundLexicon {
+			if w == "n" || w == "len" || w == "cap" {
+				if name == w {
+					budgeted = true
+					return false
+				}
+				continue
+			}
+			if strings.Contains(name, w) {
+				budgeted = true
+				return false
+			}
+		}
+		return true
+	})
+	return budgeted
+}
+
+// condVarAdvancedInBody reports whether any identifier of the condition is
+// the target of an assignment or ++/-- inside the loop body (ignoring
+// nested function literals).
+func condVarAdvancedInBody(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return false
+	}
+	condVars := make(map[string]bool)
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			condVars[id.Name] = true
+		}
+		return true
+	})
+	advanced := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if advanced {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IncDecStmt:
+			if id := rootIdent(s.X); id != nil && condVars[id.Name] {
+				advanced = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id := rootIdent(lhs); id != nil && condVars[id.Name] {
+					advanced = true
+				}
+			}
+		}
+		return !advanced
+	})
+	return advanced
+}
+
+// rootIdent unwraps selectors and index expressions to the base identifier:
+// a.b[i].c advances a.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// hasExplicitExit reports whether body contains a break, return, goto, or
+// panic outside nested function literals. Exits inside nested loops or
+// switches are accepted too: this is a reachability heuristic, not a
+// termination proof, and the escape hatch exists for the genuinely subtle
+// cases.
+func hasExplicitExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noclockBanned lists the wall-clock and ambient-randomness entry points
+// that must not appear in simulator code: every cycle-level outcome has to
+// be a pure function of (Config, Seed), or results stop being reproducible.
+// Constructing a seeded generator (rand.New, rand.NewSource, rand.NewZipf)
+// is the sanctioned path and stays allowed.
+var noclockBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time",
+		"Since": "wall-clock time",
+		"Until": "wall-clock time",
+	},
+	"math/rand": {
+		"Int": "global rand", "Intn": "global rand", "Int31": "global rand",
+		"Int31n": "global rand", "Int63": "global rand", "Int63n": "global rand",
+		"Uint32": "global rand", "Uint64": "global rand", "Float32": "global rand",
+		"Float64": "global rand", "NormFloat64": "global rand", "ExpFloat64": "global rand",
+		"Perm": "global rand", "Shuffle": "global rand", "Read": "global rand",
+		"Seed": "global rand",
+	},
+	"math/rand/v2": {
+		"Int": "global rand", "IntN": "global rand", "Int32": "global rand",
+		"Int32N": "global rand", "Int64": "global rand", "Int64N": "global rand",
+		"Uint32": "global rand", "Uint64": "global rand", "UintN": "global rand",
+		"Float32": "global rand", "Float64": "global rand", "NormFloat64": "global rand",
+		"ExpFloat64": "global rand", "Perm": "global rand", "Shuffle": "global rand",
+		"N": "global rand",
+	},
+}
+
+// NoClock returns the noclock analyzer: it forbids time.Now/Since/Until and
+// the package-level math/rand functions in the simulator's internal
+// packages. All randomness must flow through a seeded *rand.Rand carried in
+// the configuration, and simulated time is the cycle counter, never the
+// host clock.
+func NoClock() *Analyzer {
+	a := &Analyzer{
+		Name:      "noclock",
+		Doc:       "forbids wall-clock time and unseeded global randomness in simulator code",
+		AppliesTo: internalOnly,
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				banned, ok := noclockBanned[pkgName.Imported().Path()]
+				if !ok {
+					return true
+				}
+				kind, ok := banned[sel.Sel.Name]
+				if !ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s (%s) in simulator code: results must be a pure function of (Config, Seed); use the cycle counter or a seeded *rand.Rand",
+					pkgName.Imported().Name(), sel.Sel.Name, kind)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RunAnalyzers fans the given analyzers out over the loaded packages — one
+// worker per CPU over the (package × analyzer) job grid — and returns every
+// finding sorted by position. Typechecking has already happened by load
+// time, so the analysis jobs are read-only and embarrassingly parallel.
+func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	type job struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	var jobs []job
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			jobs = append(jobs, job{pkg, a})
+		}
+	}
+
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+		wg    sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pass := NewPass(j.a, loader.Fset(), j.pkg.Files, j.pkg.Types, j.pkg.Info)
+			j.a.Run(pass)
+			if ds := pass.Diagnostics(); len(ds) > 0 {
+				mu.Lock()
+				diags = append(diags, ds...)
+				mu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

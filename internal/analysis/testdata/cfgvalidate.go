@@ -1,0 +1,48 @@
+// Fixture for the cfgvalidate analyzer.
+package fixture
+
+import "errors"
+
+// Config has a Validate method, so every exported field must be referenced
+// in it or carry a novalidate marker.
+type Config struct {
+	Width     int
+	Depth     int     // want "Depth"
+	Ratio     float64 // simlint:novalidate any ratio is legal
+	hidden    int
+	Threshold int
+}
+
+// Validate checks Width and Threshold but forgets Depth.
+func (c Config) Validate() error {
+	if c.Width < 1 {
+		return errors.New("width")
+	}
+	if c.Threshold < 0 {
+		return errors.New("threshold")
+	}
+	return nil
+}
+
+// PtrConfig exercises the pointer-receiver path.
+type PtrConfig struct {
+	Checked   int
+	Unchecked int // want "Unchecked"
+}
+
+// Validate checks only Checked.
+func (p *PtrConfig) Validate() error {
+	if p.Checked == 0 {
+		return errors.New("checked")
+	}
+	return nil
+}
+
+// Loose has no Validate method, so no field requirements apply.
+type Loose struct {
+	Anything int
+	AtAll    string
+}
+
+var _ = Config{}.hidden
+var _ = Loose{}

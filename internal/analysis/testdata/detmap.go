@@ -1,0 +1,57 @@
+// Fixture for the detmap analyzer. Lines carrying `// want` comments must
+// produce a diagnostic containing the quoted substring.
+package fixture
+
+import "sort"
+
+var sink []string
+
+func unsortedDump(m map[string]int) {
+	for k := range m { // want "range over map"
+		sink = append(sink, k)
+	}
+}
+
+func valuesOnly(m map[int]bool) int {
+	n := 0
+	for _, v := range m { // want "range over map"
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: collected keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func suppressed(m map[string]int) int {
+	total := 0
+	// simlint:ignore detmap order-insensitive sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s { // ok: slices iterate in order
+		total += v
+	}
+	return total
+}
+
+func nestedLit(m map[string]int) func() {
+	return func() {
+		for k := range m { // want "range over map"
+			sink = append(sink, k)
+		}
+	}
+}

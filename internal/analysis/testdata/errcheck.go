@@ -1,0 +1,62 @@
+// Fixture for the errcheck-lite analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, nil }
+
+func dropped() {
+	fallible() // want "silently discarded"
+}
+
+func droppedMulti() {
+	multi() // want "silently discarded"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "silently discarded"
+}
+
+func backgrounded() {
+	go fallible() // want "silently discarded"
+}
+
+func explicit() {
+	_ = fallible() // ok: auditable discard
+}
+
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func builder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1) // ok: Builder writes cannot fail
+	b.WriteString("!")         // ok: Builder method
+	return b.String()
+}
+
+func toStdout() {
+	fmt.Fprintln(os.Stderr, "hi") // want "silently discarded"
+}
+
+func suppressedDrop() {
+	// simlint:ignore errcheck-lite best-effort cleanup
+	fallible()
+}
+
+func noError() {
+	step2()
+}
+
+func step2() {}

@@ -1,0 +1,81 @@
+// Fixture for the loopbound analyzer.
+package fixture
+
+func step() {}
+
+func spin() {
+	for { // want "unconditional for loop"
+		step()
+	}
+}
+
+func spinUntilDone(done func() bool) {
+	for { // ok: explicit break
+		if done() {
+			break
+		}
+		step()
+	}
+}
+
+func constantCond() {
+	for true { // want "no progress toward an exit"
+		step()
+	}
+}
+
+func noProgress(ready func(int) bool, x int) {
+	for !ready(x) { // want "no progress toward an exit"
+		step()
+	}
+}
+
+func budgeted(budget int) {
+	for budget > 0 { // ok: budget lexicon and visible progress
+		budget--
+	}
+}
+
+func cycleBound(cycle, maxCycle int) {
+	for cycle < maxCycle { // ok: cycle-counter lexicon
+		step()
+	}
+}
+
+func progress(x int) {
+	for x > 0 { // ok: x advances in the body
+		x--
+	}
+}
+
+func counted(total int) int {
+	sum := 0
+	for i := 0; i < total; i++ { // ok: counted loop
+		sum += i
+	}
+	return sum
+}
+
+func marked(ready func() bool) {
+	// simlint:bounded exits when the device signals ready
+	for !ready() {
+		step()
+	}
+}
+
+func rangeLoop(xs []int) int {
+	sum := 0
+	for _, x := range xs { // ok: range loops are bounded
+		sum += x
+	}
+	return sum
+}
+
+func exitsByPanic(bad func() bool) {
+	for { // ok: panics on the failure path
+		if bad() {
+			panic("stuck")
+		}
+		step()
+	}
+}

@@ -1,0 +1,41 @@
+// Fixture for the noclock analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since"
+}
+
+func untilDeadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "rand.Intn"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "rand.Float64"
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // ok: seeded generator construction
+	return rng.Float64()                  // ok: method on *rand.Rand, not the global
+}
+
+func suppressedClock() time.Time {
+	// simlint:ignore noclock host timestamp for a log line, not simulated time
+	return time.Now()
+}
+
+func durationsAllowed() time.Duration {
+	return 3 * time.Second // ok: constants are not clock reads
+}

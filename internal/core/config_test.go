@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default DRA config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero clusters", func(c *Config) { c.Clusters = 0 }},
+		{"zero CRC entries", func(c *Config) { c.CRCEntries = 0 }},
+		{"zero counter bits", func(c *Config) { c.CounterBits = 0 }},
+		{"oversized counter bits", func(c *Config) { c.CounterBits = 9 }},
+		{"unknown policy", func(c *Config) { c.Policy = ReplacementPolicy(9) }},
+		{"negative timeout", func(c *Config) { c.TimeoutCycles = -1 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+	monolithic := DefaultConfig()
+	monolithic.Monolithic = true
+	if err := monolithic.Validate(); err != nil {
+		t.Errorf("monolithic shape should be legal: %v", err)
+	}
+}

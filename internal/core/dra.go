@@ -72,13 +72,33 @@ type Config struct {
 	// cache of CRCEntries entries — the strawman design Section 4 argues
 	// against (a single small cache has too little capacity, a single
 	// large one cannot be read in a cycle). Used by ablations.
-	Monolithic bool
+	Monolithic bool // simlint:novalidate shape toggle; both values are legal
 }
 
 // DefaultConfig returns the paper's DRA geometry: 8 clusters × 16-entry
 // CRCs with 2-bit insertion counters.
 func DefaultConfig() Config {
 	return Config{Clusters: 8, CRCEntries: 16, CounterBits: 2}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Clusters < 1 {
+		return fmt.Errorf("core: Clusters = %d, must be >= 1", c.Clusters)
+	}
+	if c.CRCEntries < 1 {
+		return fmt.Errorf("core: CRCEntries = %d, must be >= 1", c.CRCEntries)
+	}
+	if c.CounterBits < 1 || c.CounterBits > 8 {
+		return fmt.Errorf("core: CounterBits = %d, must be in 1..8", c.CounterBits)
+	}
+	if c.Policy != FIFO && c.Policy != LRU {
+		return fmt.Errorf("core: unknown replacement policy %d", c.Policy)
+	}
+	if c.TimeoutCycles < 0 {
+		return fmt.Errorf("core: TimeoutCycles = %d, must be >= 0", c.TimeoutCycles)
+	}
+	return nil
 }
 
 func (c Config) counterMax() uint8 {

@@ -24,6 +24,35 @@ type CacheConfig struct {
 	HitLatency int
 }
 
+// Validate reports configuration errors: the geometry the constructor
+// would otherwise panic on, checked up front so a bad sweep config fails
+// with an error instead of taking down the process mid-batch.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes < 1 {
+		return fmt.Errorf("mem: SizeBytes = %d, must be >= 1", c.SizeBytes)
+	}
+	if c.LineBytes < 1 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: LineBytes = %d, must be a power of two", c.LineBytes)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("mem: Ways = %d, must be >= 1", c.Ways)
+	}
+	if c.Banks < 0 {
+		return fmt.Errorf("mem: Banks = %d, must be >= 0", c.Banks)
+	}
+	if c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("mem: Banks = %d, must be zero or a power of two", c.Banks)
+	}
+	if c.HitLatency < 1 {
+		return fmt.Errorf("mem: HitLatency = %d, must be >= 1", c.HitLatency)
+	}
+	if s := c.sets(); s&(s-1) != 0 {
+		return fmt.Errorf("mem: set count %d not a power of two (size=%d line=%d ways=%d)",
+			s, c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	return nil
+}
+
 func (c CacheConfig) sets() int {
 	s := c.SizeBytes / (c.LineBytes * c.Ways)
 	if s < 1 {

@@ -1,0 +1,53 @@
+package mem
+
+import "testing"
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := DefaultHierConfig().L1
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default L1 config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CacheConfig)
+	}{
+		{"zero size", func(c *CacheConfig) { c.SizeBytes = 0 }},
+		{"non-pow2 line", func(c *CacheConfig) { c.LineBytes = 48 }},
+		{"zero ways", func(c *CacheConfig) { c.Ways = 0 }},
+		{"negative banks", func(c *CacheConfig) { c.Banks = -1 }},
+		{"non-pow2 banks", func(c *CacheConfig) { c.Banks = 3 }},
+		{"zero hit latency", func(c *CacheConfig) { c.HitLatency = 0 }},
+		{"non-pow2 sets", func(c *CacheConfig) { c.SizeBytes = 48 << 10 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultHierConfig().L1
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+}
+
+func TestHierConfigValidate(t *testing.T) {
+	if err := DefaultHierConfig().Validate(); err != nil {
+		t.Fatalf("default hierarchy config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*HierConfig)
+	}{
+		{"bad L1", func(c *HierConfig) { c.L1.Ways = 0 }},
+		{"bad L2", func(c *HierConfig) { c.L2.LineBytes = 3 }},
+		{"zero mem latency", func(c *HierConfig) { c.MemLatency = 0 }},
+		{"zero TLB", func(c *HierConfig) { c.TLBEntries = 0 }},
+		{"non-pow2 page", func(c *HierConfig) { c.PageBytes = 3000 }},
+		{"negative conflict penalty", func(c *HierConfig) { c.BankConflictPenalty = -1 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultHierConfig()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+}

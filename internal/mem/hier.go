@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // HierConfig describes the full data-memory hierarchy of the base machine.
 type HierConfig struct {
 	L1 CacheConfig
@@ -12,6 +14,29 @@ type HierConfig struct {
 	// BankConflictPenalty is the extra latency a load pays when its bank
 	// was already accessed this cycle.
 	BankConflictPenalty int
+}
+
+// Validate reports configuration errors.
+func (c HierConfig) Validate() error {
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	if c.MemLatency < 1 {
+		return fmt.Errorf("mem: MemLatency = %d, must be >= 1", c.MemLatency)
+	}
+	if c.TLBEntries < 1 {
+		return fmt.Errorf("mem: TLBEntries = %d, must be >= 1", c.TLBEntries)
+	}
+	if c.PageBytes < 1 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("mem: PageBytes = %d, must be a power of two", c.PageBytes)
+	}
+	if c.BankConflictPenalty < 0 {
+		return fmt.Errorf("mem: BankConflictPenalty = %d, must be >= 0", c.BankConflictPenalty)
+	}
+	return nil
 }
 
 // DefaultHierConfig returns the hierarchy of the paper's base machine

@@ -90,7 +90,7 @@ type Config struct {
 	// Workload supplies one profile per hardware thread.
 	Workload workload.Workload
 	// Seed makes the run deterministic.
-	Seed int64
+	Seed int64 // simlint:novalidate every seed is a valid run
 
 	// Machine widths.
 	FetchWidth  int // instructions fetched per cycle (8)
@@ -161,7 +161,7 @@ type Config struct {
 
 	// Tracer, when non-nil, receives one record per retired instruction
 	// (a pipeline-viewer stream). Tracing does not perturb timing.
-	Tracer *Tracer
+	Tracer *Tracer // simlint:novalidate nil and non-nil are both legal
 }
 
 // DefaultConfig returns the paper's base machine running the given
@@ -265,14 +265,60 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("pipeline: %s = %d, must be >= 1", p.name, p.v)
 		}
 	}
+	nonneg := []struct {
+		name string
+		v    int
+	}{
+		{"IQEvictDelay", c.IQEvictDelay}, {"StoreForwardLat", c.StoreForwardLat},
+		{"TLBRefill", c.TLBRefill}, {"BTBMissBubble", c.BTBMissBubble},
+	}
+	for _, p := range nonneg {
+		if p.v < 0 {
+			return fmt.Errorf("pipeline: %s = %d, must be >= 0", p.name, p.v)
+		}
+	}
 	if c.NumPhysRegs < c.MaxInFlight {
 		return fmt.Errorf("pipeline: %d physical registers cannot cover %d in flight", c.NumPhysRegs, c.MaxInFlight)
 	}
 	if c.MeasureInstructions == 0 {
 		return fmt.Errorf("pipeline: MeasureInstructions must be > 0")
 	}
-	if c.UseDRA && c.DRA.Clusters != c.Clusters {
-		return fmt.Errorf("pipeline: DRA clusters (%d) must match machine clusters (%d)", c.DRA.Clusters, c.Clusters)
+	if c.WarmupInstructions > 1<<40 {
+		return fmt.Errorf("pipeline: WarmupInstructions = %d, implausibly large", c.WarmupInstructions)
+	}
+	if int(c.LoadPolicy) < 0 || int(c.LoadPolicy) >= len(loadRecoveryNames) {
+		return fmt.Errorf("pipeline: unknown load recovery policy %d", int(c.LoadPolicy))
+	}
+	if int(c.MemDep) < 0 || int(c.MemDep) >= len(memDepNames) {
+		return fmt.Errorf("pipeline: unknown memory dependence policy %d", int(c.MemDep))
+	}
+	// The store-wait predictor is constructed for every policy (it is
+	// simply untrained outside MemDepStoreWait), so its geometry must
+	// always be legal.
+	if c.StoreWaitSize < 1 || c.StoreWaitSize&(c.StoreWaitSize-1) != 0 {
+		return fmt.Errorf("pipeline: StoreWaitSize = %d, must be a power of two", c.StoreWaitSize)
+	}
+	if c.StoreWaitClear < 1 {
+		return fmt.Errorf("pipeline: StoreWaitClear = %d, must be >= 1", c.StoreWaitClear)
+	}
+	switch c.Predictor {
+	case PredTournament, PredBimodal, PredGShare, PredStatic, PredPerceptron, "":
+	default:
+		return fmt.Errorf("pipeline: unknown predictor kind %q", c.Predictor)
+	}
+	if c.BTBEntries < 1 || c.BTBEntries&(c.BTBEntries-1) != 0 {
+		return fmt.Errorf("pipeline: BTBEntries = %d, must be a power of two", c.BTBEntries)
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	if c.UseDRA {
+		if err := c.DRA.Validate(); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		if c.DRA.Clusters != c.Clusters {
+			return fmt.Errorf("pipeline: DRA clusters (%d) must match machine clusters (%d)", c.DRA.Clusters, c.Clusters)
+		}
 	}
 	return nil
 }

@@ -40,6 +40,18 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.NumPhysRegs = 100 },
 		func(c *Config) { c.MeasureInstructions = 0 },
 		func(c *Config) { c.UseDRA = true; c.DRA.Clusters = 4 },
+		func(c *Config) { c.IQEvictDelay = -1 },
+		func(c *Config) { c.StoreForwardLat = -1 },
+		func(c *Config) { c.TLBRefill = -1 },
+		func(c *Config) { c.BTBMissBubble = -1 },
+		func(c *Config) { c.LoadPolicy = LoadRecovery(9) },
+		func(c *Config) { c.MemDep = MemDepPolicy(9) },
+		func(c *Config) { c.StoreWaitSize = 3000 },
+		func(c *Config) { c.StoreWaitClear = 0 },
+		func(c *Config) { c.Predictor = PredictorKind("bogus") },
+		func(c *Config) { c.BTBEntries = 1000 },
+		func(c *Config) { c.Mem.L1.LineBytes = 48 },
+		func(c *Config) { c.UseDRA = true; c.DRA.CounterBits = 0 },
 	}
 	for i, mutate := range cases {
 		cfg := DefaultConfig(wl)

@@ -9,7 +9,8 @@ package workload
 
 import (
 	"fmt"
-	"sort"
+
+	"loosesim/internal/stats"
 )
 
 // Profile parameterises one benchmark's synthetic instruction stream.
@@ -301,16 +302,7 @@ func ByName(name string) (Workload, error) {
 // Names returns every benchmark name, single-threaded first, sorted within
 // each group.
 func Names() []string {
-	var singles, pairs []string
-	for n := range profiles {
-		singles = append(singles, n)
-	}
-	for n := range smtPairs {
-		pairs = append(pairs, n)
-	}
-	sort.Strings(singles)
-	sort.Strings(pairs)
-	return append(singles, pairs...)
+	return append(stats.SortedKeys(profiles), stats.SortedKeys(smtPairs)...)
 }
 
 // PaperOrder returns the benchmarks in the order the paper's figures plot

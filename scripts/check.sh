@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full local check: build, vet, domain lints, race-enabled tests.
+# Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> simlint ./..."
+go run ./cmd/simlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "All checks passed."
