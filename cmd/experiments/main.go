@@ -116,15 +116,24 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", j.name, err)
 		}
+		wall := time.Since(start).Seconds()
 		if *asJSON {
+			// Wrap each table with its name and host-side cost so a sweep's
+			// output is self-describing and throughput regressions show up
+			// in the archived reports.
+			report := struct {
+				Name        string
+				HostSeconds float64
+				Table       *experiments.Table
+			}{j.name, wall, t}
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(t); err != nil {
+			if err := enc.Encode(report); err != nil {
 				log.Fatal(err)
 			}
 			continue
 		}
 		fmt.Println(t)
-		fmt.Printf("[%s took %.1fs]\n\n", j.name, time.Since(start).Seconds())
+		fmt.Printf("[%s took %.1fs]\n\n", j.name, wall)
 	}
 }

@@ -1,0 +1,338 @@
+// Command loopstat aggregates the observability streams written by
+// cmd/loosim into human-readable summaries.
+//
+// Usage:
+//
+//	loosim -bench apsi -dra -events ev.jsonl -intervals iv.csv
+//	loopstat -events ev.jsonl
+//	loopstat -intervals iv.csv
+//	loopstat -events ev.jsonl -intervals iv.csv
+//	loosim -bench apsi -dra -events /dev/stdout | loopstat -events -
+//
+// The event stream yields a per-loop table: traversal count, mean and p99
+// delay, and total cycles lost per loose loop. The interval file (CSV or
+// JSONL, detected from the content) yields run totals, per-interval IPC
+// spread, the Figure-9-style operand delivery shares re-aggregated from raw
+// counts, and the worst operand-reissue burst. Any parse error exits
+// nonzero.
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+
+	"loosesim/internal/obs"
+)
+
+func openArg(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// readEvents decodes a JSONL event stream into a per-loop aggregator.
+func readEvents(r io.Reader) (*obs.LoopDelays, int, error) {
+	delays := obs.NewLoopDelays(0)
+	dec := json.NewDecoder(r)
+	n := 0
+	for {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return delays, n, nil
+			}
+			return nil, n, fmt.Errorf("event record %d: %w", n+1, err)
+		}
+		delays.Event(e)
+		n++
+	}
+}
+
+// readIntervals parses an interval time series, sniffing the format: a
+// leading '{' means JSONL, anything else is treated as loosim's CSV.
+func readIntervals(r io.Reader) ([]obs.Interval, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	data = bytes.TrimLeft(data, " \t\r\n")
+	if len(data) == 0 {
+		return nil, errors.New("intervals file is empty")
+	}
+	if data[0] == '{' {
+		return parseIntervalJSONL(data)
+	}
+	return parseIntervalCSV(data)
+}
+
+func parseIntervalJSONL(data []byte) ([]obs.Interval, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var series []obs.Interval
+	for {
+		var iv obs.Interval
+		if err := dec.Decode(&iv); err != nil {
+			if errors.Is(err, io.EOF) {
+				return series, nil
+			}
+			return nil, fmt.Errorf("interval record %d: %w", len(series)+1, err)
+		}
+		series = append(series, iv)
+	}
+}
+
+// requiredColumns are the fields the summary re-aggregates from; a CSV
+// missing any of them is rejected rather than silently under-reported.
+var requiredColumns = []string{
+	"index", "start_cycle", "end_cycle", "retired", "ipc",
+	"operands_read", "op_preread", "op_forwarded", "op_crc", "op_misses",
+	"operand_reissues",
+}
+
+func parseIntervalCSV(data []byte) ([]obs.Interval, error) {
+	cr := csv.NewReader(bytes.NewReader(data))
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csv header: %w", err)
+	}
+	cols := make(map[string]int, len(header))
+	for i, name := range header {
+		cols[name] = i
+	}
+	for _, name := range requiredColumns {
+		if _, ok := cols[name]; !ok {
+			return nil, fmt.Errorf("csv header missing column %q", name)
+		}
+	}
+	var series []obs.Interval
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return series, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csv row %d: %w", len(series)+2, err)
+		}
+		var iv obs.Interval
+		for name, i := range cols {
+			if err := setField(&iv, name, rec[i]); err != nil {
+				return nil, fmt.Errorf("csv row %d, column %s: %w", len(series)+2, name, err)
+			}
+		}
+		series = append(series, iv)
+	}
+}
+
+// setField assigns one named CSV cell to its Interval field. Names match
+// the json tags (and so the CSV header) in internal/obs. Unknown columns
+// are ignored so newer files still aggregate.
+func setField(iv *obs.Interval, name, val string) error {
+	geti := func(dst *int) error {
+		v, err := strconv.Atoi(val)
+		*dst = v
+		return err
+	}
+	geti64 := func(dst *int64) error {
+		v, err := strconv.ParseInt(val, 10, 64)
+		*dst = v
+		return err
+	}
+	getu := func(dst *uint64) error {
+		v, err := strconv.ParseUint(val, 10, 64)
+		*dst = v
+		return err
+	}
+	getf := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		*dst = v
+		return err
+	}
+	switch name {
+	case "index":
+		return geti(&iv.Index)
+	case "start_cycle":
+		return geti64(&iv.StartCycle)
+	case "end_cycle":
+		return geti64(&iv.EndCycle)
+	case "retired":
+		return getu(&iv.Retired)
+	case "ipc":
+		return getf(&iv.IPC)
+	case "branches":
+		return getu(&iv.Branches)
+	case "mispredicts":
+		return getu(&iv.Mispredicts)
+	case "mispredict_rate":
+		return getf(&iv.MispredictRate)
+	case "loads":
+		return getu(&iv.Loads)
+	case "l1_misses":
+		return getu(&iv.L1Misses)
+	case "l2_misses":
+		return getu(&iv.L2Misses)
+	case "l1_miss_rate":
+		return getf(&iv.L1MissRate)
+	case "l2_miss_rate":
+		return getf(&iv.L2MissRate)
+	case "iq_occupancy":
+		return getf(&iv.IQOccupancy)
+	case "operands_read":
+		return getu(&iv.OperandsRead)
+	case "op_preread":
+		return getu(&iv.OperandPreRead)
+	case "op_forwarded":
+		return getu(&iv.OperandForwarded)
+	case "op_crc":
+		return getu(&iv.OperandCRC)
+	case "op_misses":
+		return getu(&iv.OperandMisses)
+	case "op_preread_share":
+		return getf(&iv.PreReadShare)
+	case "op_forward_share":
+		return getf(&iv.ForwardShare)
+	case "op_crc_share":
+		return getf(&iv.CRCShare)
+	case "op_miss_share":
+		return getf(&iv.MissShare)
+	case "operand_reissues":
+		return getu(&iv.OperandReissues)
+	case "data_reissues":
+		return getu(&iv.DataReissues)
+	case "squashed_issued":
+		return getu(&iv.SquashedIssued)
+	case "useless_work":
+		return getu(&iv.UselessWork)
+	}
+	return nil
+}
+
+// summarizeIntervals prints run totals, the IPC spread, the operand
+// delivery shares re-aggregated from the raw counts, and the worst
+// operand-reissue interval.
+func summarizeIntervals(w io.Writer, series []obs.Interval) {
+	var (
+		cycles                 int64
+		retired                uint64
+		branches, mispredicts  uint64
+		loads, l1, l2          uint64
+		reads, pre, fw, crc    uint64
+		misses, opRe, dataRe   uint64
+		useless                uint64
+		minIPC, maxIPC, sumIPC float64
+		peak                   obs.Interval
+	)
+	minIPC = series[0].IPC
+	for _, iv := range series {
+		cycles += iv.Cycles()
+		retired += iv.Retired
+		branches += iv.Branches
+		mispredicts += iv.Mispredicts
+		loads += iv.Loads
+		l1 += iv.L1Misses
+		l2 += iv.L2Misses
+		reads += iv.OperandsRead
+		pre += iv.OperandPreRead
+		fw += iv.OperandForwarded
+		crc += iv.OperandCRC
+		misses += iv.OperandMisses
+		opRe += iv.OperandReissues
+		dataRe += iv.DataReissues
+		useless += iv.UselessWork
+		sumIPC += iv.IPC
+		if iv.IPC < minIPC {
+			minIPC = iv.IPC
+		}
+		if iv.IPC > maxIPC {
+			maxIPC = iv.IPC
+		}
+		if iv.OperandReissues > peak.OperandReissues {
+			peak = iv
+		}
+	}
+	aggIPC := 0.0
+	if cycles > 0 {
+		aggIPC = float64(retired) / float64(cycles)
+	}
+	fmt.Fprintf(w, "intervals        %d (%d cycles, %d retired, IPC %.3f)\n",
+		len(series), cycles, retired, aggIPC)
+	fmt.Fprintf(w, "ipc spread       min %.3f  mean %.3f  max %.3f\n",
+		minIPC, sumIPC/float64(len(series)), maxIPC)
+	if branches > 0 {
+		fmt.Fprintf(w, "branches         %d (mispredict %.2f%%)\n",
+			branches, 100*float64(mispredicts)/float64(branches))
+	}
+	if loads > 0 {
+		fmt.Fprintf(w, "loads            %d (L1 miss %.2f%%, L2 misses %d)\n",
+			loads, 100*float64(l1)/float64(loads), l2)
+	}
+	if reads > 0 {
+		fmt.Fprintf(w, "operand delivery pre-read %.1f%%, forwarded %.1f%%, CRC %.1f%%, miss %.3f%% of %d reads\n",
+			100*float64(pre)/float64(reads), 100*float64(fw)/float64(reads),
+			100*float64(crc)/float64(reads), 100*float64(misses)/float64(reads), reads)
+		fmt.Fprintf(w, "operand reissues %d total; peak %d in interval %d [cycle %d-%d]\n",
+			opRe, peak.OperandReissues, peak.Index, peak.StartCycle, peak.EndCycle)
+	}
+	fmt.Fprintf(w, "reissued work    %d data reissues, %d useless executions\n", dataRe, useless)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loopstat: ")
+	evPath := flag.String("events", "", "loop-event JSONL file from loosim -events (\"-\" = stdin)")
+	ivPath := flag.String("intervals", "", "interval CSV/JSONL file from loosim -intervals (\"-\" = stdin)")
+	flag.Parse()
+
+	if *evPath == "" && *ivPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: loopstat -events FILE and/or -intervals FILE (\"-\" = stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *evPath == "-" && *ivPath == "-" {
+		log.Fatal("only one of -events/-intervals can read stdin")
+	}
+
+	if *evPath != "" {
+		f, err := openArg(*evPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		delays, n, err := readEvents(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loop events      %d\n", n)
+		fmt.Print(delays.Table())
+	}
+
+	if *ivPath != "" {
+		if *evPath != "" {
+			fmt.Println()
+		}
+		f, err := openArg(*ivPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series, err := readIntervals(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if len(series) == 0 {
+			log.Fatal("intervals file has a header but no rows")
+		}
+		summarizeIntervals(os.Stdout, series)
+	}
+}

@@ -6,6 +6,12 @@
 //	loosim -bench gcc -deciq 5 -iqex 5 -regread 3
 //	loosim -bench swim -dra
 //	loosim -bench apsi-swim -load stall -inst 1000000
+//	loosim -bench apsi -dra -intervals out.csv -events out.jsonl
+//
+// The observability flags attach internal/obs probes: -intervals writes a
+// per-interval time series (CSV, or JSONL when the path ends in .jsonl or
+// .json), -events writes the loop-event stream as JSONL. Aggregate either
+// file with cmd/loopstat. Probes never change simulation outcomes.
 package main
 
 import (
@@ -14,13 +20,35 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
+	"loosesim/internal/obs"
 	"loosesim/internal/pipeline"
 	"loosesim/internal/workload"
 )
 
+// hostProfile is the simulator's self-measured throughput: simulated work
+// per host-second over the whole run (warmup included). This is the one
+// place wall-clock time is allowed — internal/ stays pure under simlint's
+// noclock analyzer.
+type hostProfile struct {
+	WallSeconds  float64
+	KIPS         float64 // retired kilo-instructions per host second
+	CyclesPerSec float64 // simulated cycles per host second
+}
+
+func profileHost(res *pipeline.Result, wall time.Duration) hostProfile {
+	h := hostProfile{WallSeconds: wall.Seconds()}
+	if h.WallSeconds > 0 {
+		h.KIPS = float64(res.TotalRetired) / 1000 / h.WallSeconds
+		h.CyclesPerSec = float64(res.TotalCycles) / h.WallSeconds
+	}
+	return h
+}
+
 // printJSON emits a machine-readable report of the run.
-func printJSON(cfg pipeline.Config, res *pipeline.Result) {
+func printJSON(cfg pipeline.Config, res *pipeline.Result, host hostProfile) {
 	pr, fw, crc, miss := res.OperandShare()
 	report := struct {
 		Benchmark string
@@ -36,6 +64,7 @@ func printJSON(cfg pipeline.Config, res *pipeline.Result) {
 		Operand   struct{ PreRead, Forwarded, CRC, Miss float64 }
 		IQ        struct{ Occupancy, Retained float64 }
 		PerThread []uint64
+		Host      hostProfile
 	}{
 		Benchmark: res.Benchmark,
 		DecIQLat:  cfg.DecIQLat,
@@ -48,6 +77,7 @@ func printJSON(cfg pipeline.Config, res *pipeline.Result) {
 		Counters:  res.Counters,
 		Cycles:    res.Cycles,
 		PerThread: res.RetiredPerThread,
+		Host:      host,
 	}
 	report.Operand.PreRead, report.Operand.Forwarded, report.Operand.CRC, report.Operand.Miss = pr, fw, crc, miss
 	report.IQ.Occupancy, report.IQ.Retained = res.IQOccupancy, res.IQRetained
@@ -56,6 +86,12 @@ func printJSON(cfg pipeline.Config, res *pipeline.Result) {
 	if err := enc.Encode(report); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// intervalWriter is either of obs's interval writers, by error contract.
+type intervalWriter interface {
+	obs.IntervalSink
+	Err() error
 }
 
 func main() {
@@ -80,6 +116,9 @@ func main() {
 		verbose  = flag.Bool("v", false, "print extended statistics")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		trace    = flag.Uint64("trace", 0, "trace the first N retired instructions to stderr")
+		ivPath   = flag.String("intervals", "", "write the per-interval time series to FILE (.jsonl/.json = JSONL, else CSV)")
+		evPath   = flag.String("events", "", "write the loop-event stream to FILE as JSONL")
+		ivCycles = flag.Int64("interval", 0, "cycles per observation interval (0 = default 10000)")
 	)
 	flag.Parse()
 
@@ -144,14 +183,69 @@ func main() {
 		cfg.Tracer = pipeline.NewTracer(os.Stderr, *trace)
 	}
 
+	// Observability probes.
+	var (
+		ivw    intervalWriter
+		ivFile *os.File
+		evw    *obs.RingWriter
+		evFile *os.File
+	)
+	if *ivPath != "" {
+		ivFile, err = os.Create(*ivPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(*ivPath, ".jsonl") || strings.HasSuffix(*ivPath, ".json") {
+			ivw = obs.NewIntervalJSONL(ivFile)
+		} else {
+			ivw = obs.NewIntervalCSV(ivFile)
+		}
+		cfg.Intervals = ivw
+		cfg.SampleInterval = *ivCycles
+	}
+	if *evPath != "" {
+		evFile, err = os.Create(*evPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evw = obs.NewRingWriter(evFile, 0)
+		cfg.Events = evw
+	}
+
 	m, err := pipeline.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	start := time.Now()
 	res := m.Run()
+	host := profileHost(res, time.Since(start))
+
+	// Flush and verify every observability output before reporting: a
+	// truncated stream must fail the run, not pass silently.
+	if evw != nil {
+		if err := evw.Flush(); err != nil {
+			log.Fatalf("event stream truncated: %v", err)
+		}
+		if err := evFile.Close(); err != nil {
+			log.Fatalf("event stream: %v", err)
+		}
+	}
+	if ivw != nil {
+		if err := ivw.Err(); err != nil {
+			log.Fatalf("interval stream truncated: %v", err)
+		}
+		if err := ivFile.Close(); err != nil {
+			log.Fatalf("interval stream: %v", err)
+		}
+	}
+	if cfg.Tracer != nil {
+		if err := cfg.Tracer.Err(); err != nil {
+			log.Fatalf("trace truncated after %d records: %v", cfg.Tracer.Count(), err)
+		}
+	}
 
 	if *asJSON {
-		printJSON(cfg, res)
+		printJSON(cfg, res, host)
 		return
 	}
 
@@ -177,6 +271,8 @@ func main() {
 		fmt.Printf("operand reissues %d; front-end stall cycles %d\n",
 			res.Counters.OperandReissues, res.Counters.FrontStalls)
 	}
+	fmt.Printf("host throughput  %.0f KIPS, %.2fM cycles/s (%.2fs wall)\n",
+		host.KIPS, host.CyclesPerSec/1e6, host.WallSeconds)
 	if *verbose {
 		fmt.Printf("fetched          %d (+%d wrong-path), BTB bubbles %d\n",
 			res.Counters.Fetched, res.Counters.WrongPathFetch, res.Counters.BTBBubbles)

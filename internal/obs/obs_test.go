@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestEventKindNamesAndParse(t *testing.T) {
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, err := ParseEventKind(name)
+		if err != nil || got != k {
+			t.Errorf("ParseEventKind(%q) = %v, %v; want %v", name, got, err, k)
+		}
+	}
+	if _, err := ParseEventKind("bogus"); err == nil {
+		t.Error("ParseEventKind must reject unknown names")
+	}
+	if s := EventKind(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("out-of-range kind string = %q", s)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{Cycle: 12345, Kind: EvOperandReissue, Thread: 1, Seq: 99, PC: 0xdeadbeef, Delay: 6}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"operand-reissue"`) {
+		t.Fatalf("kind must marshal by name: %s", b)
+	}
+	var out Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"no-such-loop"}`), &out); err == nil {
+		t.Error("unknown kind must fail to unmarshal")
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b []Event
+	sink := Tee(nil, EventFunc(func(e Event) { a = append(a, e) }), nil,
+		EventFunc(func(e Event) { b = append(b, e) }))
+	sink.Event(Event{Cycle: 1})
+	sink.Event(Event{Cycle: 2})
+	if len(a) != 2 || len(b) != 2 {
+		t.Errorf("tee delivered %d/%d events, want 2/2", len(a), len(b))
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("tee of nothing must be nil (preserving the nil fast path)")
+	}
+	one := EventFunc(func(Event) {})
+	if got := Tee(nil, one); got == nil {
+		t.Error("tee of one sink must not be nil")
+	}
+}
+
+func TestRingWriterFlushesAllEvents(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRingWriter(&buf, 3) // force multiple batch flushes
+	for i := 0; i < 10; i++ {
+		w.Event(Event{Cycle: int64(i), Kind: EvBranchMispredict, Delay: int64(i)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("wrote %d lines, want 10", len(lines))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d unparseable: %v", i, err)
+		}
+		if e.Cycle != int64(i) {
+			t.Fatalf("line %d out of order: cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+// failAfter fails every write after the first n.
+type failAfter struct {
+	n int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestRingWriterLatchesError(t *testing.T) {
+	w := NewRingWriter(&failAfter{n: 2}, 1) // flush per event
+	w.Event(Event{Cycle: 1})
+	w.Event(Event{Cycle: 2})
+	w.Event(Event{Cycle: 3}) // fails
+	if w.Err() == nil {
+		t.Fatal("third write must latch an error")
+	}
+	w.Event(Event{Cycle: 4}) // dropped silently
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush must report the latched error")
+	}
+}
+
+func TestLoopDelaysAggregation(t *testing.T) {
+	l := NewLoopDelays(0)
+	for i := 0; i < 100; i++ {
+		l.Event(Event{Kind: EvBranchMispredict, Delay: int64(10 + i%5)})
+	}
+	l.Event(Event{Kind: EvOperandMiss, Delay: 0})
+	l.Event(Event{Kind: EventKind(250), Delay: 7}) // unknown: dropped
+
+	if got := l.Count(EvBranchMispredict); got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+	if got := l.MeanDelay(EvBranchMispredict); got != 12 {
+		t.Errorf("mean delay = %v, want 12", got)
+	}
+	if got := l.P99(EvBranchMispredict); got != 14 {
+		t.Errorf("p99 = %d, want 14", got)
+	}
+	if got := l.CyclesLost(EvBranchMispredict); got != 1200 {
+		t.Errorf("cycles lost = %d, want 1200", got)
+	}
+	if got := l.CyclesLost(EvOperandMiss); got != 0 {
+		t.Errorf("zero-delay events must not lose cycles, got %d", got)
+	}
+	if got := l.Total(); got != 101 {
+		t.Errorf("total = %d, want 101", got)
+	}
+
+	table := l.Table().String()
+	if !strings.Contains(table, "branch-mispredict") || !strings.Contains(table, "operand-miss") {
+		t.Errorf("table missing rows:\n%s", table)
+	}
+	if strings.Contains(table, "tlb-trap") {
+		t.Errorf("table must skip loops that never fired:\n%s", table)
+	}
+}
+
+func TestIntervalCSVRoundTrip(t *testing.T) {
+	iv := Interval{
+		Index: 2, StartCycle: 20000, EndCycle: 30000,
+		Retired: 24000, IPC: 2.4,
+		Branches: 3000, Mispredicts: 150, MispredictRate: 0.05,
+		Loads: 8000, L1Misses: 400, L2Misses: 40, L1MissRate: 0.05, L2MissRate: 0.005,
+		IQOccupancy:  64.25,
+		OperandsRead: 40000, OperandPreRead: 24000, OperandForwarded: 12000,
+		OperandCRC: 3960, OperandMisses: 40,
+		PreReadShare: 0.6, ForwardShare: 0.3, CRCShare: 0.099, MissShare: 0.001,
+		OperandReissues: 35, DataReissues: 120, SquashedIssued: 800, UselessWork: 955,
+	}
+	var buf bytes.Buffer
+	w := NewIntervalCSV(&buf)
+	w.Interval(iv)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d — schema drift", len(header), len(row))
+	}
+	cols := make(map[string]string)
+	for i, h := range header {
+		cols[h] = row[i]
+	}
+	for col, want := range map[string]string{
+		"index": "2", "start_cycle": "20000", "end_cycle": "30000",
+		"retired": "24000", "ipc": "2.4", "mispredicts": "150",
+		"op_preread": "24000", "op_miss_share": "0.001",
+		"operand_reissues": "35", "useless_work": "955",
+	} {
+		if cols[col] != want {
+			t.Errorf("column %s = %q, want %q", col, cols[col], want)
+		}
+	}
+}
+
+func TestIntervalCSVLatchesHeaderError(t *testing.T) {
+	w := NewIntervalCSV(&failAfter{n: 0})
+	if w.Err() == nil {
+		t.Fatal("header write error must latch")
+	}
+	w.Interval(Interval{Index: 1}) // must not panic, must stay dropped
+}
+
+func TestIntervalJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewIntervalJSONL(&buf)
+	for i := 0; i < 3; i++ {
+		w.Interval(Interval{Index: i, StartCycle: int64(i) * 1000, EndCycle: int64(i+1) * 1000, Retired: 42})
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	for i := 0; i < 3; i++ {
+		var iv Interval
+		if err := dec.Decode(&iv); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if iv.Index != i || iv.Cycles() != 1000 || iv.Retired != 42 {
+			t.Errorf("record %d corrupted: %+v", i, iv)
+		}
+	}
+	var extra Interval
+	if err := dec.Decode(&extra); err != io.EOF {
+		t.Errorf("expected EOF after 3 records, got %v", err)
+	}
+}

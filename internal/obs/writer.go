@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RingWriter is the event stream's JSONL writer. Events accumulate in a
+// fixed-capacity ring that is encoded and flushed in batches, keeping the
+// hot path to an append. Errors latch, mirroring pipeline.Tracer's
+// contract: the first write error stops further output, later events are
+// dropped, and the caller must check Flush/Err after the run — the writer
+// never aborts the simulation itself.
+type RingWriter struct {
+	enc *json.Encoder
+	buf []Event
+	max int
+	err error
+}
+
+// DefaultRingCapacity is the batch size used when NewRingWriter is given a
+// non-positive capacity.
+const DefaultRingCapacity = 4096
+
+// NewRingWriter writes events to w as JSON Lines, flushing every capacity
+// events (capacity <= 0 selects DefaultRingCapacity).
+func NewRingWriter(w io.Writer, capacity int) *RingWriter {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &RingWriter{
+		enc: json.NewEncoder(w),
+		buf: make([]Event, 0, capacity),
+		max: capacity,
+	}
+}
+
+// Event buffers one record, flushing the ring when it fills.
+func (r *RingWriter) Event(e Event) {
+	if r.err != nil {
+		return
+	}
+	r.buf = append(r.buf, e)
+	if len(r.buf) >= r.max {
+		r.flush()
+	}
+}
+
+// flush drains the ring to the encoder, latching the first error.
+func (r *RingWriter) flush() {
+	for _, e := range r.buf {
+		if err := r.enc.Encode(e); err != nil {
+			r.err = err
+			break
+		}
+	}
+	r.buf = r.buf[:0]
+}
+
+// Flush drains any buffered events and returns the first latched error.
+// Call it once the run completes; a RingWriter holds no OS resources, so
+// there is no separate Close.
+func (r *RingWriter) Flush() error {
+	if r.err == nil {
+		r.flush()
+	}
+	return r.err
+}
+
+// Err returns the first write error, if any.
+func (r *RingWriter) Err() error { return r.err }
+
+// intervalCSVHeader fixes the CSV schema. Column order matches the Fprintf
+// in (*IntervalCSV).Interval; TestIntervalCSVRoundTrip locks the two
+// together.
+const intervalCSVHeader = "index,start_cycle,end_cycle,retired,ipc," +
+	"branches,mispredicts,mispredict_rate," +
+	"loads,l1_misses,l2_misses,l1_miss_rate,l2_miss_rate," +
+	"iq_occupancy," +
+	"operands_read,op_preread,op_forwarded,op_crc,op_misses," +
+	"op_preread_share,op_forward_share,op_crc_share,op_miss_share," +
+	"operand_reissues,data_reissues,squashed_issued,useless_work"
+
+// IntervalCSV writes the interval time series as CSV with a fixed header.
+// Errors latch; check Err after the run.
+type IntervalCSV struct {
+	w   io.Writer
+	err error
+}
+
+// NewIntervalCSV writes the header immediately; a header-write error
+// latches and suppresses all rows.
+func NewIntervalCSV(w io.Writer) *IntervalCSV {
+	c := &IntervalCSV{w: w}
+	_, c.err = fmt.Fprintln(w, intervalCSVHeader)
+	return c
+}
+
+// Interval writes one row.
+func (c *IntervalCSV) Interval(iv Interval) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w,
+		"%d,%d,%d,%d,%.6g,%d,%d,%.6g,%d,%d,%d,%.6g,%.6g,%.6g,%d,%d,%d,%d,%d,%.6g,%.6g,%.6g,%.6g,%d,%d,%d,%d\n",
+		iv.Index, iv.StartCycle, iv.EndCycle, iv.Retired, iv.IPC,
+		iv.Branches, iv.Mispredicts, iv.MispredictRate,
+		iv.Loads, iv.L1Misses, iv.L2Misses, iv.L1MissRate, iv.L2MissRate,
+		iv.IQOccupancy,
+		iv.OperandsRead, iv.OperandPreRead, iv.OperandForwarded, iv.OperandCRC, iv.OperandMisses,
+		iv.PreReadShare, iv.ForwardShare, iv.CRCShare, iv.MissShare,
+		iv.OperandReissues, iv.DataReissues, iv.SquashedIssued, iv.UselessWork)
+}
+
+// Err returns the first write error, if any.
+func (c *IntervalCSV) Err() error { return c.err }
+
+// IntervalJSONL writes the interval time series as JSON Lines (one
+// Interval object per line). Errors latch; check Err after the run.
+type IntervalJSONL struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewIntervalJSONL returns a JSONL interval writer over w.
+func NewIntervalJSONL(w io.Writer) *IntervalJSONL {
+	return &IntervalJSONL{enc: json.NewEncoder(w)}
+}
+
+// Interval writes one record.
+func (j *IntervalJSONL) Interval(iv Interval) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(iv)
+}
+
+// Err returns the first write error, if any.
+func (j *IntervalJSONL) Err() error { return j.err }

@@ -13,6 +13,7 @@ import (
 
 	"loosesim/internal/core"
 	"loosesim/internal/mem"
+	"loosesim/internal/obs"
 	"loosesim/internal/workload"
 )
 
@@ -162,7 +163,25 @@ type Config struct {
 	// Tracer, when non-nil, receives one record per retired instruction
 	// (a pipeline-viewer stream). Tracing does not perturb timing.
 	Tracer *Tracer // simlint:novalidate nil and non-nil are both legal
+
+	// Observability (internal/obs). The probes are strictly passive:
+	// enabling them must not change any simulation outcome, and both
+	// sinks nil makes the layer free.
+
+	// SampleInterval is the interval probe's period in simulated cycles;
+	// 0 selects DefaultSampleInterval when Intervals is set.
+	SampleInterval int64
+	// Intervals, when non-nil, receives one counter-delta record per
+	// SampleInterval cycles, covering the whole run including warmup.
+	Intervals obs.IntervalSink // simlint:novalidate nil disables the probe
+	// Events, when non-nil, receives one record per loose-loop traversal
+	// (mispredicts, load/operand reissues, traps, front-end stalls).
+	Events obs.EventSink // simlint:novalidate nil disables the stream
 }
+
+// DefaultSampleInterval is the interval probe's period when
+// Config.SampleInterval is left zero.
+const DefaultSampleInterval = 10_000
 
 // DefaultConfig returns the paper's base machine running the given
 // workload: 8-wide SMT with a 128-entry IQ, 256 in flight, DEC-IQ = 5,
@@ -282,6 +301,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MeasureInstructions == 0 {
 		return fmt.Errorf("pipeline: MeasureInstructions must be > 0")
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("pipeline: SampleInterval = %d, must be >= 0", c.SampleInterval)
 	}
 	if c.WarmupInstructions > 1<<40 {
 		return fmt.Errorf("pipeline: WarmupInstructions = %d, implausibly large", c.WarmupInstructions)

@@ -9,6 +9,7 @@ import (
 	"loosesim/internal/iq"
 	"loosesim/internal/isa"
 	"loosesim/internal/mem"
+	"loosesim/internal/obs"
 	"loosesim/internal/regfile"
 	"loosesim/internal/stats"
 	"loosesim/internal/uop"
@@ -84,6 +85,17 @@ type Machine struct {
 	stack     CycleStack
 	warmStack CycleStack
 
+	// Observability (internal/obs): the event sink, and the interval
+	// probe's sink, period, and open-interval state. Both sinks nil is
+	// the fast path — see pipeline/obs.go.
+	evSink      obs.EventSink
+	ivSink      obs.IntervalSink
+	sampleEvery int64
+	ivSnap      Counters
+	ivStart     int64
+	ivIndex     int
+	ivOcc       uint64
+
 	frontStallUntil int64
 	lastRetireCycle int64
 	rrRename        int
@@ -121,6 +133,14 @@ func New(cfg Config) (*Machine, error) {
 		m.dra = core.New(cfg.DRA, cfg.NumPhysRegs)
 	}
 	m.swPred = bpred.NewStoreWait(cfg.StoreWaitSize, cfg.StoreWaitClear)
+	m.evSink = cfg.Events
+	if cfg.Intervals != nil {
+		m.ivSink = cfg.Intervals
+		m.sampleEvery = cfg.SampleInterval
+		if m.sampleEvery == 0 {
+			m.sampleEvery = DefaultSampleInterval
+		}
+	}
 	m.readyAt = make([]int64, cfg.NumPhysRegs)
 	m.actualAt = make([]int64, cfg.NumPhysRegs)
 	m.regGen = make([]uint32, cfg.NumPhysRegs)
@@ -154,11 +174,16 @@ func (m *Machine) Run() *Result {
 				m.cycle, m.ctr.Retired, m.q.Len(), m.cfg.IQEntries, m.inFlight()))
 		}
 	}
+	if m.ivSink != nil && m.cycle > m.ivStart {
+		m.emitInterval() // flush the partial tail interval
+	}
 	res := &Result{
-		Benchmark:  m.cfg.Workload.Name,
-		Counters:   m.ctr.sub(m.warmSnap),
-		OperandGap: m.opGap,
-		Cycles:     m.stack.sub(m.warmStack),
+		Benchmark:    m.cfg.Workload.Name,
+		Counters:     m.ctr.sub(m.warmSnap),
+		TotalCycles:  m.cycle,
+		TotalRetired: m.ctr.Retired,
+		OperandGap:   m.opGap,
+		Cycles:       m.stack.sub(m.warmStack),
 	}
 	if m.samples > 0 {
 		res.IQOccupancy = float64(m.occSum) / float64(m.samples)
@@ -210,6 +235,9 @@ func (m *Machine) step() {
 		m.samples++
 		m.occSum += uint64(m.q.Len())
 		m.retainSum += uint64(m.q.Retained())
+	}
+	if m.ivSink != nil {
+		m.sampleInterval()
 	}
 }
 
@@ -275,8 +303,7 @@ func (m *Machine) resolveBranch(u *uop.UOp) {
 	if !u.Mispredicted {
 		return
 	}
-	m.ctr.Mispredicts++
-	m.ctr.BranchResLatSum += uint64(m.cycle - u.FetchCycle)
+	m.noteMispredict(u)
 	t := m.threads[u.Thread]
 	m.squashYounger(t, u.Seq)
 	if t.wpBranch == u {
@@ -360,7 +387,7 @@ func (m *Machine) onExec(e event) {
 	for i := 0; i < u.NumSrc; i++ {
 		if m.actualAt[u.Src[i]] > now {
 			if !u.WrongPath {
-				m.ctr.DataReissues++
+				m.noteDataReissue(u)
 			}
 			m.revertToWaiting(u, now+int64(m.cfg.FeedbackDelay))
 			return
@@ -456,7 +483,7 @@ func (m *Machine) onExec(e event) {
 			// the fill time itself is non-deterministic, so dependents
 			// can be woken only when the data actually returns.
 			if !u.WrongPath {
-				m.ctr.LoadMisspecs++
+				m.noteLoadMisspec(u)
 			}
 			tag := int32(u.Issues)
 			m.schedule(evLoadResolve, now+int64(m.cfg.FeedbackDelay), event{u: u, tag: tag})
@@ -464,7 +491,7 @@ func (m *Machine) onExec(e event) {
 				m.schedule(evLoadResolve, u.DataReady, event{u: u, tag: tag})
 			}
 			if m.cfg.LoadPolicy == LoadRefetch {
-				m.ctr.LoadRefetches++
+				m.noteLoadRefetch(u)
 				t := m.threads[u.Thread]
 				m.squashYounger(t, u.Seq)
 				if t.wpBranch != nil && t.wpBranch.State == uop.StateSquashed {
@@ -522,19 +549,20 @@ func (m *Machine) operandsDelivered(u *uop.UOp, now int64) bool {
 			u.PreRead[i] = true // recovery reads it into the payload
 			if !u.WrongPath {
 				m.ctr.OperandsRead++
-				m.ctr.OperandMisses++
+				m.noteOperandMiss(u)
 			}
 		}
 	}
 	if !missed {
 		return true
 	}
-	if !u.WrongPath {
-		m.ctr.OperandReissues++
-	}
 	recoverAt := now + int64(m.cfg.FeedbackDelay+m.cfg.RegReadLat)
+	if !u.WrongPath {
+		m.noteOperandReissue(u, recoverAt-now)
+	}
 	m.revertToWaiting(u, recoverAt)
 	if recoverAt > m.frontStallUntil {
+		m.noteFrontStall(u, recoverAt-m.frontStallUntil)
 		m.frontStallUntil = recoverAt
 	}
 	return false
@@ -580,7 +608,7 @@ func (m *Machine) trapRecover(u *uop.UOp) {
 	if u.WrongPath {
 		return // a wrong-path trap is squashed work either way
 	}
-	m.ctr.TLBMissTraps++
+	m.noteTLBTrap(u)
 	t := m.threads[u.Thread]
 	m.squashYounger(t, u.Seq)
 	if t.wpBranch != nil && t.wpBranch.State == uop.StateSquashed {

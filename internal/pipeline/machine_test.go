@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
+	"loosesim/internal/obs"
 	"loosesim/internal/workload"
 )
 
@@ -87,6 +89,42 @@ func TestDeterminism(t *testing.T) {
 	if a.Counters != b.Counters {
 		t.Errorf("same config diverged:\n%+v\n%+v", a.Counters, b.Counters)
 	}
+
+	// Same config with sampler and event stream enabled: the Counters must
+	// be byte-identical to the unprobed run, and two probed runs must
+	// produce byte-identical observability streams.
+	probed := func() (*Result, string, string) {
+		var evBuf, ivBuf bytes.Buffer
+		c := cfg
+		events := obs.NewRingWriter(&evBuf, 0)
+		intervals := obs.NewIntervalCSV(&ivBuf)
+		c.Events = events
+		c.Intervals = intervals
+		c.SampleInterval = 2_500
+		res := run(t, c)
+		if err := events.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := intervals.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res, evBuf.String(), ivBuf.String()
+	}
+	p1, ev1, iv1 := probed()
+	p2, ev2, iv2 := probed()
+	if a.Counters != p1.Counters {
+		t.Errorf("observability perturbed the run:\n%+v\n%+v", a.Counters, p1.Counters)
+	}
+	if p1.Counters != p2.Counters {
+		t.Errorf("probed runs diverged:\n%+v\n%+v", p1.Counters, p2.Counters)
+	}
+	if ev1 != ev2 {
+		t.Error("event streams of identical runs differ")
+	}
+	if iv1 != iv2 {
+		t.Error("interval streams of identical runs differ")
+	}
+
 	cfg.Seed = 99
 	c := run(t, cfg)
 	if a.Counters.Cycles == c.Counters.Cycles && a.Counters.Mispredicts == c.Counters.Mispredicts {

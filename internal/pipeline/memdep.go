@@ -91,7 +91,7 @@ func (m *Machine) storeResolved(u *uop.UOp) {
 	if victim == nil {
 		return
 	}
-	m.ctr.MemOrderTraps++
+	m.noteMemOrderTrap(victim)
 	m.swPred.Train(victim.Inst.PC)
 	m.squashYounger(t, victim.Seq-1) // inclusive of the load: it refetches
 	if t.wpBranch != nil && t.wpBranch.State == uop.StateSquashed {

@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"loosesim/internal/obs"
+	"loosesim/internal/uop"
+)
+
+// Observability instrumentation. Every loose-loop traversal flows through
+// one of the note* helpers below: the helper performs the counter update
+// the machine has always done and, when an event sink is attached, emits
+// one structured obs.Event describing the traversal. The nil-sink check is
+// the entire cost when observability is off, and no helper reads anything
+// back from a sink — the layer is passive by construction, which
+// TestObservabilityDoesNotPerturb enforces.
+
+// emitEvent sends one loop event to the configured sink.
+func (m *Machine) emitEvent(kind obs.EventKind, u *uop.UOp, delay int64) {
+	if m.evSink == nil {
+		return
+	}
+	m.evSink.Event(obs.Event{
+		Cycle:  m.cycle,
+		Kind:   kind,
+		Thread: u.Thread,
+		Seq:    u.Seq,
+		PC:     u.Inst.PC,
+		Delay:  delay,
+	})
+}
+
+// noteMispredict records one branch resolution loop recovery; the event's
+// delay is the branch's measured fetch→resolve latency, the same quantity
+// BranchResLatSum accumulates.
+func (m *Machine) noteMispredict(u *uop.UOp) {
+	d := m.cycle - u.FetchCycle
+	m.ctr.Mispredicts++
+	m.ctr.BranchResLatSum += uint64(d)
+	m.emitEvent(obs.EvBranchMispredict, u, d)
+}
+
+// noteLoadMisspec records a failed load-hit speculation; the delay is the
+// remaining time until the data actually returns.
+func (m *Machine) noteLoadMisspec(u *uop.UOp) {
+	m.ctr.LoadMisspecs++
+	m.emitEvent(obs.EvLoadMisspec, u, u.DataReady-m.cycle)
+}
+
+// noteDataReissue records an instruction reverting to waiting after
+// consuming data inside a producer's mis-speculation shadow.
+func (m *Machine) noteDataReissue(u *uop.UOp) {
+	m.ctr.DataReissues++
+	m.emitEvent(obs.EvDataReissue, u, int64(m.cfg.FeedbackDelay))
+}
+
+// noteLoadRefetch records a refetch-policy load recovery. Like the counter
+// it wraps, it fires for wrong-path loads too: the flush really happens.
+func (m *Machine) noteLoadRefetch(u *uop.UOp) {
+	m.ctr.LoadRefetches++
+	m.emitEvent(obs.EvLoadRefetch, u, int64(m.cfg.FeedbackDelay))
+}
+
+// noteMemOrderTrap records a load/store reorder trap against the
+// violating load.
+func (m *Machine) noteMemOrderTrap(victim *uop.UOp) {
+	m.ctr.MemOrderTraps++
+	m.emitEvent(obs.EvMemOrderTrap, victim, int64(m.cfg.FeedbackDelay))
+}
+
+// noteTLBTrap records a data-TLB miss trap; the delay is the TLB refill
+// the load pays on top of the fetch-stage recovery.
+func (m *Machine) noteTLBTrap(u *uop.UOp) {
+	m.ctr.TLBMissTraps++
+	m.emitEvent(obs.EvTLBTrap, u, int64(m.cfg.TLBRefill))
+}
+
+// noteOperandMiss records one DRA operand-delivery miss (per operand).
+func (m *Machine) noteOperandMiss(u *uop.UOp) {
+	m.ctr.OperandMisses++
+	m.emitEvent(obs.EvOperandMiss, u, 0)
+}
+
+// noteOperandReissue records an operand resolution loop recovery: the
+// instruction reissues after the feedback delay plus the register read.
+func (m *Machine) noteOperandReissue(u *uop.UOp, delay int64) {
+	m.ctr.OperandReissues++
+	m.emitEvent(obs.EvOperandReissue, u, delay)
+}
+
+// noteFrontStall records a front-end stall installed for a DRA operand
+// recovery; delay is the number of cycles the stall extends the previous
+// one by. (The FrontStalls counter itself counts stalled cycles and keeps
+// accumulating in rename.)
+func (m *Machine) noteFrontStall(u *uop.UOp, delay int64) {
+	m.emitEvent(obs.EvFrontStall, u, delay)
+}
+
+// sampleInterval accumulates the per-cycle state the interval probe needs
+// and emits a record each time the period elapses. Called once per cycle,
+// only when an interval sink is configured.
+func (m *Machine) sampleInterval() {
+	m.ivOcc += uint64(m.q.Len())
+	if m.cycle-m.ivStart >= m.sampleEvery {
+		m.emitInterval()
+	}
+}
+
+// emitInterval closes the open interval: the counter delta since the last
+// snapshot becomes one obs.Interval with its derived rates.
+func (m *Machine) emitInterval() {
+	d := m.ctr.sub(m.ivSnap)
+	pr, fw, crc, miss := d.OperandShare()
+	iv := obs.Interval{
+		Index:      m.ivIndex,
+		StartCycle: m.ivStart,
+		EndCycle:   m.cycle,
+
+		Retired: d.Retired,
+		IPC:     d.IPC(),
+
+		Branches:       d.Branches,
+		Mispredicts:    d.Mispredicts,
+		MispredictRate: d.MispredictRate(),
+
+		Loads:      d.Loads,
+		L1Misses:   d.L1Misses,
+		L2Misses:   d.L2Misses,
+		L1MissRate: d.L1MissRate(),
+		L2MissRate: d.L2MissRate(),
+
+		OperandsRead:     d.OperandsRead,
+		OperandPreRead:   d.OperandPreRead,
+		OperandForwarded: d.OperandForwarded,
+		OperandCRC:       d.OperandCRC,
+		OperandMisses:    d.OperandMisses,
+		PreReadShare:     pr,
+		ForwardShare:     fw,
+		CRCShare:         crc,
+		MissShare:        miss,
+
+		OperandReissues: d.OperandReissues,
+		DataReissues:    d.DataReissues,
+		SquashedIssued:  d.SquashedIssued,
+		UselessWork:     d.UselessWork(),
+	}
+	if cycles := d.Cycles; cycles > 0 {
+		iv.IQOccupancy = float64(m.ivOcc) / float64(cycles)
+	}
+	m.ivSink.Interval(iv)
+	m.ivIndex++
+	m.ivStart = m.cycle
+	m.ivSnap = m.ctr
+	m.ivOcc = 0
+}

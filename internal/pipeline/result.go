@@ -89,10 +89,81 @@ func (c Counters) sub(base Counters) Counters {
 	}
 }
 
+// The derived-rate helpers live on Counters (not Result) so that both the
+// end-of-run Result and the observability layer's per-interval deltas
+// (internal/obs) compute them identically.
+
+// IPC returns retired correct-path instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// MispredictRate returns mispredicted / resolved correct-path branches.
+func (c Counters) MispredictRate() float64 {
+	if c.Branches == 0 {
+		return 0
+	}
+	return float64(c.Mispredicts) / float64(c.Branches)
+}
+
+// L1MissRate returns L1 data cache misses per correct-path load.
+func (c Counters) L1MissRate() float64 {
+	if c.Loads == 0 {
+		return 0
+	}
+	return float64(c.L1Misses) / float64(c.Loads)
+}
+
+// L2MissRate returns L2 misses per correct-path load.
+func (c Counters) L2MissRate() float64 {
+	if c.Loads == 0 {
+		return 0
+	}
+	return float64(c.L2Misses) / float64(c.Loads)
+}
+
+// OperandMissRate returns DRA operand misses per classified operand.
+func (c Counters) OperandMissRate() float64 {
+	if c.OperandsRead == 0 {
+		return 0
+	}
+	return float64(c.OperandMisses) / float64(c.OperandsRead)
+}
+
+// OperandShare returns the Figure 9 breakdown: fractions of operands read
+// via register pre-read, the forwarding buffer, the CRCs, and misses.
+func (c Counters) OperandShare() (preRead, forwarded, crc, miss float64) {
+	n := float64(c.OperandsRead)
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(c.OperandPreRead) / n,
+		float64(c.OperandForwarded) / n,
+		float64(c.OperandCRC) / n,
+		float64(c.OperandMisses) / n
+}
+
+// UselessWork returns the paper's useless-work measure: instructions
+// reissued (load and operand loops) plus issued instructions squashed by
+// branch/trap recovery.
+func (c Counters) UselessWork() uint64 {
+	return c.DataReissues + c.OperandReissues + c.SquashedIssued
+}
+
 // Result is the outcome of one simulation's measurement window.
 type Result struct {
 	Benchmark string
 	Counters  Counters
+
+	// TotalCycles and TotalRetired cover the whole run, warmup included
+	// (Counters covers the measurement window only). The commands use
+	// them for host-throughput self-profiling: simulated work per host
+	// second is a whole-run quantity.
+	TotalCycles  int64
+	TotalRetired uint64
 
 	// OperandGap is the Figure 6 distribution: cycles between the
 	// availability of an instruction's first and second source operands.
@@ -112,56 +183,27 @@ type Result struct {
 }
 
 // IPC returns retired correct-path instructions per cycle.
-func (r *Result) IPC() float64 {
-	if r.Counters.Cycles == 0 {
-		return 0
-	}
-	return float64(r.Counters.Retired) / float64(r.Counters.Cycles)
-}
+func (r *Result) IPC() float64 { return r.Counters.IPC() }
 
 // MispredictRate returns mispredicted / resolved correct-path branches.
-func (r *Result) MispredictRate() float64 {
-	if r.Counters.Branches == 0 {
-		return 0
-	}
-	return float64(r.Counters.Mispredicts) / float64(r.Counters.Branches)
-}
+func (r *Result) MispredictRate() float64 { return r.Counters.MispredictRate() }
 
 // L1MissRate returns L1 data cache misses per correct-path load.
-func (r *Result) L1MissRate() float64 {
-	if r.Counters.Loads == 0 {
-		return 0
-	}
-	return float64(r.Counters.L1Misses) / float64(r.Counters.Loads)
-}
+func (r *Result) L1MissRate() float64 { return r.Counters.L1MissRate() }
 
 // OperandMissRate returns DRA operand misses per classified operand.
-func (r *Result) OperandMissRate() float64 {
-	if r.Counters.OperandsRead == 0 {
-		return 0
-	}
-	return float64(r.Counters.OperandMisses) / float64(r.Counters.OperandsRead)
-}
+func (r *Result) OperandMissRate() float64 { return r.Counters.OperandMissRate() }
 
 // OperandShare returns the Figure 9 breakdown: fractions of operands read
 // via register pre-read, the forwarding buffer, the CRCs, and misses.
 func (r *Result) OperandShare() (preRead, forwarded, crc, miss float64) {
-	n := float64(r.Counters.OperandsRead)
-	if n == 0 {
-		return 0, 0, 0, 0
-	}
-	return float64(r.Counters.OperandPreRead) / n,
-		float64(r.Counters.OperandForwarded) / n,
-		float64(r.Counters.OperandCRC) / n,
-		float64(r.Counters.OperandMisses) / n
+	return r.Counters.OperandShare()
 }
 
 // UselessWork returns the paper's useless-work measure: instructions
 // reissued (load and operand loops) plus issued instructions squashed by
 // branch/trap recovery.
-func (r *Result) UselessWork() uint64 {
-	return r.Counters.DataReissues + r.Counters.OperandReissues + r.Counters.SquashedIssued
-}
+func (r *Result) UselessWork() uint64 { return r.Counters.UselessWork() }
 
 // String summarises the result.
 func (r *Result) String() string {

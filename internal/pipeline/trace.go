@@ -21,6 +21,14 @@ type Tracer struct {
 
 // NewTracer traces the first limit retired instructions to w (limit 0 means
 // no bound).
+//
+// Error latching contract: the header is written here, and a failure — of
+// the header or of any later record — latches rather than aborts. The
+// simulation keeps running untraced (a broken trace destination must never
+// change simulation results), subsequent records are dropped, and the
+// first error is reported by Err. Callers that care about trace
+// completeness MUST check Err after the run and treat a non-nil result as
+// a truncated trace; cmd/loosim exits nonzero on it.
 func NewTracer(w io.Writer, limit uint64) *Tracer {
 	t := &Tracer{w: w, limit: limit}
 	t.header()

@@ -75,3 +75,42 @@ func TestTracerLatchesError(t *testing.T) {
 		t.Fatal("header write error must latch")
 	}
 }
+
+// failAfterWriter accepts the first n writes and fails every later one —
+// the mid-run disk-full case.
+type failAfterWriter struct {
+	n int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestTracerLatchesMidRunError(t *testing.T) {
+	// Header plus two records succeed; the third record's write fails.
+	// The contract (see NewTracer): the run completes untraced from there,
+	// later records are dropped, and Err reports the first failure.
+	w := &failAfterWriter{n: 3}
+	tr := NewTracer(w, 0)
+	if tr.Err() != nil {
+		t.Fatalf("premature error: %v", tr.Err())
+	}
+	cfg := quickCfg(t, "m88")
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = 2_000
+	cfg.Tracer = tr
+	res := run(t, cfg) // must not panic or abort
+	if res.Counters.Retired < cfg.MeasureInstructions {
+		t.Fatal("a failing tracer must not stop the simulation")
+	}
+	if tr.Err() == nil {
+		t.Fatal("record write error must latch")
+	}
+	if tr.Count() != 3 {
+		t.Errorf("tracer counted %d records, want 3 (two written + the failed attempt)", tr.Count())
+	}
+}

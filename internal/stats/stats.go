@@ -123,6 +123,33 @@ func (h *Histogram) Percentile(p float64) int {
 	return len(h.buckets)
 }
 
+// Quantile returns the smallest recorded sample value v with F(v) >= q.
+// It differs from Percentile in its overflow behaviour: a quantile landing
+// in the overflow bucket reports Max(), the largest sample actually
+// recorded, rather than the histogram bound — so p99 of a heavy-tailed
+// delay distribution stays meaningful even when the tail outruns the
+// buckets. q is clamped to (0, 1]; with no samples it returns 0.
+func (h *Histogram) Quantile(q float64) int {
+	if h.count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(math.Ceil(q * float64(h.count)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= need {
+			return i
+		}
+	}
+	return h.max
+}
+
 // String renders a compact summary.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("hist{n=%d mean=%.2f max=%d overflow=%d}", h.count, h.Mean(), h.max, h.overflow)

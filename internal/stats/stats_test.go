@@ -128,6 +128,81 @@ func TestPercentileEmptyAndOverflow(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 10; i++ {
+		h.Add(i) // values 0..9 once each
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("q50 = %d, want 4", got)
+	}
+	if got := h.Quantile(1.0); got != 9 {
+		t.Errorf("q100 = %d, want 9", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(7); got != 9 {
+		t.Errorf("q>1 must clamp to the maximum, got %d", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if NewHistogram(4).Quantile(0.99) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+}
+
+func TestQuantileOverflow(t *testing.T) {
+	// Quantiles landing in the overflow bucket report Max(), the largest
+	// recorded sample — not the histogram bound (Percentile's behaviour).
+	h := NewHistogram(4)
+	h.Add(1)
+	h.Add(2)
+	h.Add(100)
+	h.Add(200)
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("q50 = %d, want 2", got)
+	}
+	if got := h.Quantile(0.99); got != 200 {
+		t.Errorf("overflow q99 = %d, want Max() 200", got)
+	}
+	all := NewHistogram(2)
+	all.Add(10)
+	if got := all.Quantile(0.9); got != 10 {
+		t.Errorf("all-overflow quantile = %d, want 10", got)
+	}
+	if got := all.Percentile(0.9); got != 2 {
+		t.Errorf("Percentile overflow contract changed: %d, want bound 2", got)
+	}
+}
+
+// Property: Quantile output is weakly increasing in q and never exceeds
+// Max().
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint8, a, b float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		qa := math.Mod(math.Abs(a), 1.0)
+		qb := math.Mod(math.Abs(b), 1.0)
+		if qa == 0 || qb == 0 {
+			return true
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		h := NewHistogram(16) // small bound: exercise overflow often
+		for _, s := range samples {
+			h.Add(int(s))
+		}
+		return h.Quantile(qa) <= h.Quantile(qb) && h.Quantile(qb) <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	if Speedup(0, 5) != 0 {
 		t.Error("zero baseline must yield 0")

@@ -18,9 +18,11 @@ package loosesim
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
+	"loosesim/internal/obs"
 	"loosesim/internal/pipeline"
 	"loosesim/internal/workload"
 )
@@ -84,6 +86,45 @@ func DRAMachine(bench string, regReadLat int) (Config, error) {
 	}
 	return pipeline.DRAConfigRF(wl, regReadLat), nil
 }
+
+// Observability. Attach sinks to Config.Events / Config.Intervals before
+// Run; probes are strictly passive and never change simulation outcomes.
+// See the internal/obs package documentation for the event and interval
+// schemas.
+type (
+	// Event is one loose-loop traversal record.
+	Event = obs.Event
+	// EventKind names the loop a traversal belongs to.
+	EventKind = obs.EventKind
+	// EventSink receives loop-event records in cycle order.
+	EventSink = obs.EventSink
+	// EventFunc adapts a function to EventSink.
+	EventFunc = obs.EventFunc
+	// Interval is one sample of the per-interval time series.
+	Interval = obs.Interval
+	// IntervalSink receives the interval time series in index order.
+	IntervalSink = obs.IntervalSink
+	// IntervalFunc adapts a function to IntervalSink.
+	IntervalFunc = obs.IntervalFunc
+	// LoopDelays aggregates events into per-loop delay histograms.
+	LoopDelays = obs.LoopDelays
+)
+
+// NewLoopDelays returns an in-process per-loop delay aggregator (bound <= 0
+// selects the default histogram bound).
+func NewLoopDelays(bound int) *LoopDelays { return obs.NewLoopDelays(bound) }
+
+// NewEventWriter returns a batching JSONL event writer; call Flush and
+// check its error once the run completes.
+func NewEventWriter(w io.Writer, capacity int) *obs.RingWriter {
+	return obs.NewRingWriter(w, capacity)
+}
+
+// NewIntervalCSV returns a CSV interval writer; check Err after the run.
+func NewIntervalCSV(w io.Writer) *obs.IntervalCSV { return obs.NewIntervalCSV(w) }
+
+// TeeEvents fans an event stream out to several sinks.
+func TeeEvents(sinks ...EventSink) EventSink { return obs.Tee(sinks...) }
 
 // Run executes one simulation to completion.
 func Run(cfg Config) (*Result, error) {

@@ -17,4 +17,11 @@ go run ./cmd/simlint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> observability smoke (loosim -intervals/-events | loopstat)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/loosim -bench apsi -dra -warmup 20000 -inst 60000 \
+	-intervals "$tmp/iv.csv" -events "$tmp/ev.jsonl" >/dev/null
+go run ./cmd/loopstat -events "$tmp/ev.jsonl" -intervals "$tmp/iv.csv" >/dev/null
+
 echo "All checks passed."
