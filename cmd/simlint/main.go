@@ -1,6 +1,7 @@
 // Command simlint runs the simulator's domain-specific static-analysis
 // suite (internal/analysis) over the module: determinism, config hygiene,
-// loop safety, and error discipline, with vet-style file:line:col output.
+// loop safety, hot-path allocation discipline, and error discipline, with
+// vet-style file:line:col output.
 //
 // Usage:
 //
@@ -16,47 +17,56 @@
 //	-list       list the available analyzers and exit
 //	-enable     comma-separated analyzers to run (default "all")
 //	-disable    comma-separated analyzers to skip
+//	-baseline   JSON findings file (as produced by -json); findings whose
+//	            analyzer, file, and message match a recorded entry are
+//	            suppressed, so a new analyzer can be adopted incrementally
+//	            while keeping the gate green
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"loosesim/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	enable := fs.String("enable", "all", "comma-separated analyzers to run")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	baseline := fs.String("baseline", "", "JSON findings file; matching findings are suppressed")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
 	analyzers, err := analysis.ByName(*enable)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
+		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
 	if *disable != "" {
 		skip, err := analysis.ByName(*disable)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "simlint:", err)
+			fmt.Fprintln(stderr, "simlint:", err)
 			return 2
 		}
 		skipNames := make(map[string]bool)
@@ -74,50 +84,99 @@ func run(args []string) int {
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
+		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
+		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
+		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
 	pkgs, err := loader.Load(fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
+		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
 	if len(pkgs) == 0 {
-		fmt.Fprintf(os.Stderr, "simlint: patterns %v matched no packages\n", fs.Args())
+		fmt.Fprintf(stderr, "simlint: patterns %v matched no packages\n", fs.Args())
 		return 2
 	}
 
 	diags := analysis.RunAnalyzers(loader, pkgs, analyzers)
+	if *baseline != "" {
+		known, err := loadBaseline(*baseline, root)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		var kept []analysis.Diagnostic
+		for _, d := range diags {
+			if !known[baselineKey(d, root)] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, "simlint:", err)
+			fmt.Fprintln(stderr, "simlint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}
 	return 0
+}
+
+// loadBaseline reads a -json findings file and returns the set of match
+// keys it records.
+func loadBaseline(path, root string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var recorded []analysis.Diagnostic
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	known := make(map[string]bool, len(recorded))
+	for _, d := range recorded {
+		known[baselineKey(d, root)] = true
+	}
+	return known, nil
+}
+
+// baselineKey identifies a finding for baseline matching: analyzer, file,
+// and message. Line and column are deliberately excluded — unrelated edits
+// move findings around without resolving them — and paths under the module
+// root are normalised to root-relative slash form.
+func baselineKey(d analysis.Diagnostic, root string) string {
+	file := d.Position
+	for range [2]int{} { // strip :col then :line
+		if i := strings.LastIndex(file, ":"); i >= 0 {
+			file = file[:i]
+		}
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return d.Analyzer + "\x00" + filepath.ToSlash(file) + "\x00" + d.Message
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loosesim/internal/analysis"
+)
+
+// writeTempModule lays out a minimal module with one deliberate loopbound
+// finding in an internal/pipeline package and chdirs into it.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module simlinttest\n\ngo 1.22\n",
+		"internal/pipeline/loop.go": `package pipeline
+
+// Spin burns cycles forever; the missing exit is the finding under test.
+func Spin() {
+	x := 0
+	for {
+		x++
+	}
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(cwd) })
+	return dir
+}
+
+// TestRunJSONAndBaseline drives the CLI end to end: -json must report the
+// planted finding as machine-readable output with exit 1, and feeding that
+// very output back via -baseline must suppress it down to a clean exit 0.
+func TestRunJSONAndBaseline(t *testing.T) {
+	dir := writeTempModule(t)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run -json = exit %d, stderr %q; want 1", code, errb.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "loopbound" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("-json output lacks the planted loopbound finding: %s", out.String())
+	}
+
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-baseline", basePath, "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run -baseline = exit %d; want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("baselined run should print nothing, got: %s", out.String())
+	}
+
+	// A baseline must not mask findings it does not record: point it at an
+	// empty set and the finding comes back.
+	if err := os.WriteFile(basePath, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-baseline", basePath, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run with empty baseline = exit %d; want 1", code)
+	}
+}

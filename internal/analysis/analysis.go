@@ -50,6 +50,10 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Program holds the whole-program facts (call graph, hot-path
+	// reachability) cross-package analyzers consume. The driver populates
+	// it; analyzers that need it must tolerate nil (single-package runs).
+	Program *Program
 
 	diagnostics []Diagnostic
 	suppressed  map[string]map[int]bool // file -> line -> ignored for this analyzer
@@ -166,6 +170,10 @@ func All() []*Analyzer {
 		CfgValidate(),
 		LoopBound(),
 		ErrCheckLite(),
+		HotAlloc(),
+		Exhaustive(),
+		FieldReset(),
+		SinkGuard(),
 	}
 }
 

@@ -37,6 +37,11 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	}
 
 	pass := NewPass(a, fset, []*ast.File{file}, pkg, info)
+	// Cross-package analyzers read whole-program facts; for a fixture the
+	// program is the fixture itself.
+	pass.Program = BuildProgram(fset, []*Package{{
+		Path: "fixture", Files: []*ast.File{file}, Types: pkg, Info: info,
+	}})
 	a.Run(pass)
 
 	wants := parseWants(t, fset, file)
@@ -99,11 +104,15 @@ func TestNoClockFixture(t *testing.T)      { runFixture(t, NoClock(), "noclock.g
 func TestCfgValidateFixture(t *testing.T)  { runFixture(t, CfgValidate(), "cfgvalidate.go") }
 func TestLoopBoundFixture(t *testing.T)    { runFixture(t, LoopBound(), "loopbound.go") }
 func TestErrCheckLiteFixture(t *testing.T) { runFixture(t, ErrCheckLite(), "errcheck.go") }
+func TestHotAllocFixture(t *testing.T)     { runFixture(t, HotAlloc(), "hotalloc.go") }
+func TestExhaustiveFixture(t *testing.T)   { runFixture(t, Exhaustive(), "exhaustive.go") }
+func TestFieldResetFixture(t *testing.T)   { runFixture(t, FieldReset(), "fieldreset.go") }
+func TestSinkGuardFixture(t *testing.T)    { runFixture(t, SinkGuard(), "sinkguard.go") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("all")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(all) = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	two, err := ByName("detmap,noclock")
 	if err != nil || len(two) != 2 {

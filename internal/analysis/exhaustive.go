@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive returns the exhaustive analyzer: a switch over a bounded iota
+// enum must either cover every constant of the enum or carry a default
+// clause.
+//
+// A "bounded iota enum" is a named integer type whose defining package
+// declares a sentinel constant of the same type named `Num...`/`num...`
+// (the NumEventKinds idiom): the sentinel is the author's statement that
+// the constant set is closed, so a switch silently missing a member —
+// typically one added after the switch was written — is a bug. A loop
+// event kind that string-building code never learned about would vanish
+// from reports without a diagnostic; that is exactly the failure mode this
+// analyzer makes unrepresentable.
+//
+// The default clause is the deliberate-partiality escape hatch: dispatch
+// switches that handle two kinds and ignore the rest state so with a
+// default (which should report, error, or document why the remaining
+// kinds need nothing). The sentinel itself never needs a case.
+func Exhaustive() *Analyzer {
+	a := &Analyzer{
+		Name:      "exhaustive",
+		Doc:       "requires switches over Num-sentinel iota enums to cover every constant or declare a default",
+		AppliesTo: internalOnly,
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, sw)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// enumConstant is one member of a bounded enum.
+type enumConstant struct {
+	name  string
+	value constant.Value
+}
+
+// checkSwitch verifies one tagged switch against its enum, if the tag's
+// type is a bounded enum.
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	members, sentinel := enumMembers(named)
+	if sentinel == "" {
+		return // not a bounded enum: no Num sentinel declared
+	}
+
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			ctv, ok := pass.Info.Types[expr]
+			if !ok || ctv.Value == nil {
+				continue
+			}
+			for _, m := range members {
+				if constant.Compare(ctv.Value, token.EQL, m.value) {
+					covered[m.name] = true
+				}
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.name] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"switch on %s misses %s and has no default; cover every constant (sentinel %s bounds the enum) or add a default that reports or documents the no-op kinds",
+		types.TypeString(named, types.RelativeTo(pass.Pkg)), strings.Join(missing, ", "), sentinel)
+}
+
+// enumMembers collects the package-level constants of the named type from
+// its defining package, split into ordinary members and the Num sentinel
+// (empty when the type declares none, i.e. it is not a bounded enum).
+func enumMembers(named *types.Named) (members []enumConstant, sentinel string) {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, ""
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return nil, ""
+	}
+	scope := obj.Pkg().Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(name), "num") {
+			sentinel = name
+			continue
+		}
+		members = append(members, enumConstant{name: name, value: c.Val()})
+	}
+	if sentinel == "" {
+		return nil, ""
+	}
+	return members, sentinel
+}

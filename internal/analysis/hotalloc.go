@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc returns the hotalloc analyzer: inside any function the call
+// graph proves reachable from the per-cycle roots (HotPathRoots), it flags
+// the allocation patterns that turn a cycle-accurate simulator's inner
+// loop into a garbage-collector benchmark:
+//
+//   - heap allocations: make, new, and &T{...} composite-literal escapes;
+//   - fmt calls and strings.Builder use — formatting belongs in reporting
+//     code, never on the per-cycle path;
+//   - closure creation: function literals and method values (m.f used as a
+//     value allocates a fresh closure at every evaluation);
+//   - boxing: passing or converting a non-pointer concrete value to an
+//     interface parameter, which heap-allocates the copy;
+//   - map iteration, which is both cache-hostile and (per detmap)
+//     nondeterministically ordered.
+//
+// Arguments to panic are exempt: a panicking simulator's allocation rate
+// is irrelevant. A function whose hot-path work is genuinely amortised or
+// cold (a slab refill, a once-per-run flush) opts out with a
+// `// simlint:coldpath <why>` marker on its declaration, which also stops
+// reachability propagating through it; a single site can instead use the
+// generic `// simlint:ignore hotalloc <why>`.
+//
+// hotalloc needs whole-program facts (Pass.Program); with no program
+// attached it reports nothing.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name:      "hotalloc",
+		Doc:       "flags allocations, formatting, closures, boxing, and map iteration in hot-path-reachable functions",
+		AppliesTo: internalOnly,
+	}
+	a.Run = func(pass *Pass) {
+		prog := pass.Program
+		if prog == nil {
+			return
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok || prog.HotInfo(obj) == nil {
+					continue
+				}
+				checkHotFunc(pass, prog, obj, fd)
+			}
+		}
+	}
+	return a
+}
+
+// checkHotFunc walks one hot function's body and reports allocation
+// patterns, skipping panic arguments.
+func checkHotFunc(pass *Pass, prog *Program, obj *types.Func, fd *ast.FuncDecl) {
+	where := hotWhere(prog, obj)
+	// Selectors appearing as a call's Fun are ordinary method calls, not
+	// method values; collect them first so the selector case can tell the
+	// difference.
+	calledFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calledFuns[call.Fun] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(pass, x) {
+				return false // terminal path: allocation cost is irrelevant
+			}
+			checkCall(pass, x, where)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "heap allocation (&composite literal) %s; reuse a pooled or preallocated object", where)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "function literal %s allocates a closure per evaluation; hoist it or use a method on existing state", where)
+			return false // the literal's body is attributed to this function anyway
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.MethodVal && !calledFuns[x] {
+				pass.Reportf(x.Pos(), "method value %s.%s %s allocates a closure per evaluation; bind it once at construction",
+					exprString(x.X), x.Sel.Name, where)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "map iteration %s; use an index-keyed slice on the hot path", where)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall classifies one (non-panic) call expression in a hot function.
+func checkCall(pass *Pass, call *ast.CallExpr, where string) {
+	// Builtin allocators.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, okb := pass.Info.Uses[id].(*types.Builtin); okb {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "heap allocation (make) %s; preallocate at construction and reuse", where)
+			case "new":
+				pass.Reportf(call.Pos(), "heap allocation (new) %s; preallocate at construction and reuse", where)
+			}
+			return
+		}
+	}
+	// fmt and strings.Builder.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if packageOf(pass, sel) == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s call %s; formatting allocates — move it off the per-cycle path", sel.Sel.Name, where)
+			return
+		}
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if isStringsBuilder(s.Recv()) {
+				pass.Reportf(call.Pos(), "strings.Builder use %s; string assembly allocates — move it off the per-cycle path", where)
+				return
+			}
+		}
+	}
+	// Conversion to an interface type boxes the operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(pass, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand %s; keep the concrete type or pass a pointer",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), where)
+		}
+		return
+	}
+	// Boxing at interface-typed parameters.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete value into interface %s %s; keep the concrete type or pass a pointer",
+				types.TypeString(pt, types.RelativeTo(pass.Pkg)), where)
+		}
+	}
+}
+
+// boxes reports whether passing arg as a value of type param heap-boxes
+// it: the parameter is an interface, the argument is a concrete non-pointer
+// value (pointers fit in the interface word without copying).
+func boxes(pass *Pass, param types.Type, arg ast.Expr) bool {
+	if _, ok := param.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	at := tv.Type
+	if at == types.Typ[types.UntypedNil] {
+		return false
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return false
+	}
+	return true
+}
+
+// callSignature resolves the signature of a call's callee, nil for
+// builtins and type conversions.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// isStringsBuilder reports whether t (or *t) is strings.Builder.
+func isStringsBuilder(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Builder" && obj.Pkg() != nil && obj.Pkg().Path() == "strings"
+}
+
+// hotWhere renders the "in hot-path function f (reachable from root)"
+// suffix for diagnostics.
+func hotWhere(prog *Program, obj *types.Func) string {
+	name := funcDisplayName(obj)
+	root := prog.HotRoot[obj]
+	if root == nil || root == obj {
+		return "in hot-path function " + name
+	}
+	return "in hot-path function " + name + " (reachable from " + funcDisplayName(root) + ")"
+}
+
+// funcDisplayName renders Type.method or plain function names.
+func funcDisplayName(fn *types.Func) string {
+	if recv := receiverTypeNameOf(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// exprString renders a short source-ish form of simple receiver
+// expressions for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	}
+	return "expr"
+}

@@ -62,6 +62,24 @@ func NewLoader(root string) (*Loader, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// AllPackages returns every package the loader has typechecked, in import
+// path order — the whole module, regardless of which patterns Load
+// selected for reporting. The call-graph engine builds over this set so
+// that hot-path reachability is whole-program even when the user asked to
+// lint a single package.
+func (l *Loader) AllPackages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, l.pkgs[path])
+	}
+	return out
+}
+
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
 

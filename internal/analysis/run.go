@@ -10,7 +10,11 @@ import (
 // worker per CPU over the (package × analyzer) job grid — and returns every
 // finding sorted by position. Typechecking has already happened by load
 // time, so the analysis jobs are read-only and embarrassingly parallel.
+// The whole-program fact base (call graph + hot-path reachability) is
+// built once, over every package the loader typechecked, and shared
+// read-only by all jobs.
 func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(loader.Fset(), loader.AllPackages())
 	type job struct {
 		pkg *Package
 		a   *Analyzer
@@ -38,6 +42,7 @@ func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diag
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			pass := NewPass(j.a, loader.Fset(), j.pkg.Files, j.pkg.Types, j.pkg.Info)
+			pass.Program = prog
 			j.a.Run(pass)
 			if ds := pass.Diagnostics(); len(ds) > 0 {
 				mu.Lock()

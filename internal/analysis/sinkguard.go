@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SinkGuard returns the sinkguard analyzer: in the pipeline package, any
+// function that builds an observability record (a composite literal of a
+// sink's event type) or delivers one (a call through a *Sink interface)
+// must first nil-check a sink. The observability layer's contract is
+// zero overhead when off — one pointer compare per instrumentation site —
+// and that contract only holds if the nil check dominates the record
+// construction. An emitter that assembles the record before (or without)
+// checking its sink silently re-introduces per-event cost into every
+// unobserved run.
+//
+// A "sink" is a named interface type whose name ends in Sink (the
+// obs.EventSink / obs.IntervalSink idiom); its event types are the named
+// struct parameters of its methods. The guard is any `== nil` / `!= nil`
+// comparison of a sink-typed expression appearing earlier in the same
+// function body. Functions that only *compute* what to emit and delegate
+// to a guarded emitter are fine: they touch neither the sink nor the
+// record type.
+func SinkGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "sinkguard",
+		Doc:  "requires sink emitters to nil-check their sink before building or delivering an event",
+		AppliesTo: func(pkgPath string) bool {
+			return strings.HasSuffix(pkgPath, "internal/pipeline")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		eventTypes := sinkEventTypes(pass)
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkEmitter(pass, fn, eventTypes)
+			}
+		}
+	}
+	return a
+}
+
+// sinkEventTypes collects the event types of every *Sink interface visible
+// to the package: named struct types appearing as parameters of sink
+// interface methods, in this package's scope and its imports'.
+func sinkEventTypes(pass *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !strings.HasSuffix(tn.Name(), "Sink") {
+				continue
+			}
+			iface, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				sig := iface.Method(i).Type().(*types.Signature)
+				for j := 0; j < sig.Params().Len(); j++ {
+					pt := sig.Params().At(j).Type()
+					if ptr, okp := pt.(*types.Pointer); okp {
+						pt = ptr.Elem()
+					}
+					if named, okn := pt.(*types.Named); okn {
+						if _, oks := named.Underlying().(*types.Struct); oks {
+							out[named.Obj()] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkEmitter flags unguarded sink uses in one function.
+func checkEmitter(pass *Pass, fn *ast.FuncDecl, eventTypes map[*types.TypeName]bool) {
+	var uses []ast.Node // sink calls and event literals, in source order
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if s, oks := pass.Info.Selections[sel]; oks && s.Kind() == types.MethodVal && isSinkType(s.Recv()) {
+					uses = append(uses, x)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[x]; ok {
+				t := tv.Type
+				if ptr, okp := t.(*types.Pointer); okp {
+					t = ptr.Elem()
+				}
+				if named, okn := t.(*types.Named); okn && eventTypes[named.Obj()] {
+					uses = append(uses, x)
+				}
+			}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	guardPos := sinkGuardPos(pass, fn.Body)
+	for _, use := range uses {
+		if guardPos.IsValid() && guardPos < use.Pos() {
+			continue
+		}
+		pass.Reportf(use.Pos(),
+			"sink emitter %s builds or delivers an event without first nil-checking its sink; guard with `if sink == nil { return }` to keep observability free when off",
+			fn.Name.Name)
+	}
+}
+
+// sinkGuardPos returns the position of the first nil comparison of a
+// sink-typed expression in body, or token.NoPos.
+func sinkGuardPos(pass *Pass, body *ast.BlockStmt) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			if id, ok := pair[1].(*ast.Ident); !ok || id.Name != "nil" {
+				continue
+			}
+			if tv, ok := pass.Info.Types[pair[0]]; ok && isSinkType(tv.Type) {
+				pos = be.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// isSinkType reports whether t is a named interface whose name ends in
+// Sink.
+func isSinkType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if !strings.HasSuffix(named.Obj().Name(), "Sink") {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,55 @@
+// Fixture for the call-graph builder: direct calls, method values,
+// interface dispatch, function literals, and coldpath pruning.
+package fixture
+
+// EmitSink is dispatched dynamically from the hot path; reachability must
+// fan out to every implementation.
+type EmitSink interface {
+	Emit(n int)
+}
+
+// ringSink implements EmitSink.
+type ringSink struct{ data []int }
+
+func (r *ringSink) Emit(n int) { r.grow(n) }
+
+func (r *ringSink) grow(n int) { r.data = append(r.data, n) }
+
+// flatSink also implements EmitSink: dispatch reaches both.
+type flatSink struct{ n int }
+
+func (f *flatSink) Emit(n int) { f.n = n }
+
+type Machine struct {
+	pred func(int) bool
+	out  EmitSink
+}
+
+func (m *Machine) step() {
+	m.advance()         // direct method call
+	m.pred = m.eligible // method value: reachability follows the reference
+	m.out.Emit(1)       // interface dispatch
+	tally(2)            // direct function call
+	f := func() { viaLiteral() }
+	f()      // literal body is attributed to step
+	m.dump() // coldpath callee: the edge exists, traversal stops
+}
+
+func (m *Machine) advance() {}
+
+func (m *Machine) eligible(x int) bool { return x > 0 }
+
+func tally(n int) {}
+
+func viaLiteral() {}
+
+// dump is exit-time debug work a hot function legitimately calls.
+//
+// simlint:coldpath exit-time debug dump
+func (m *Machine) dump() { m.deep() }
+
+// deep is only reachable through dump: pruned with it.
+func (m *Machine) deep() {}
+
+// orphan is never referenced.
+func orphan() {}

@@ -1,0 +1,86 @@
+// Fixture for the exhaustive analyzer.
+package fixture
+
+// Kind is a bounded iota enum: the Num sentinel closes the constant set.
+type Kind uint8
+
+const (
+	KindAlpha Kind = iota
+	KindBeta
+	KindGamma
+
+	// NumKinds bounds the enumeration.
+	NumKinds
+)
+
+// Mode has no Num sentinel, so switches over it are unconstrained.
+type Mode int
+
+const (
+	ModeFast Mode = iota
+	ModeSlow
+)
+
+func nameOfMissing(k Kind) string {
+	switch k { // want "switch on Kind misses KindGamma and has no default"
+	case KindAlpha:
+		return "alpha"
+	case KindBeta:
+		return "beta"
+	}
+	return ""
+}
+
+func nameOfFull(k Kind) string {
+	switch k { // ok: every constant covered
+	case KindAlpha:
+		return "alpha"
+	case KindBeta:
+		return "beta"
+	case KindGamma:
+		return "gamma"
+	}
+	return ""
+}
+
+func nameOfDefault(k Kind) string {
+	switch k { // ok: deliberate partiality via default
+	case KindAlpha:
+		return "alpha"
+	default:
+		return "other"
+	}
+}
+
+func nameOfMulti(k Kind) string {
+	switch k { // ok: multi-value case covers the set
+	case KindAlpha, KindBeta, KindGamma:
+		return "some"
+	}
+	return ""
+}
+
+func nameOfMode(m Mode) string {
+	switch m { // ok: Mode declares no sentinel, not a bounded enum
+	case ModeFast:
+		return "fast"
+	}
+	return ""
+}
+
+func suppressed(k Kind) string {
+	// simlint:ignore exhaustive kinds beyond alpha handled upstream
+	switch k {
+	case KindAlpha:
+		return "alpha"
+	}
+	return ""
+}
+
+func untagged(k Kind) string {
+	switch { // ok: untagged switch is ordinary control flow
+	case k == KindAlpha:
+		return "alpha"
+	}
+	return ""
+}

@@ -1,0 +1,94 @@
+// Fixture for the hotalloc analyzer. The fixture declares its own Machine
+// with the default hot-path roots; everything reachable from step is hot.
+package fixture
+
+import "fmt"
+
+// Machine mirrors the simulator's hot-path shape.
+type Machine struct {
+	scratch []int
+	counts  map[string]int
+	ready   func(int) bool
+}
+
+// Sink is dispatched through an interface so reachability must resolve
+// the implementation.
+type Sink interface {
+	Put(n int)
+}
+
+// SliceSink is the concrete sink behind the interface.
+type SliceSink struct {
+	data []int
+}
+
+// Put lands in the hot set via interface dispatch from step.
+func (s *SliceSink) Put(n int) {
+	s.data = make([]int, n) // want "heap allocation (make) in hot-path function SliceSink.Put"
+}
+
+func (m *Machine) step(s Sink) {
+	m.process()
+	s.Put(1)
+	buf := make([]byte, 64) // want "heap allocation (make) in hot-path function Machine.step"
+	_ = buf
+	p := new(int) // want "heap allocation (new) in hot-path function Machine.step"
+	_ = p
+	m.ready = m.isReady // want "method value m.isReady in hot-path function Machine.step"
+	f := func(x int) int { // want "function literal in hot-path function Machine.step"
+		return x + 1
+	}
+	_ = f
+}
+
+func (m *Machine) isReady(x int) bool { return x > 0 }
+
+// process is hot because step calls it.
+func (m *Machine) process() {
+	m.log("tick")                     // the call itself is fine; the callee is checked below
+	for k, v := range m.counts {      // want "map iteration in hot-path function Machine.process"
+		_ = k
+		_ = v
+	}
+	sm := &SliceSink{} // want "heap allocation (&composite literal) in hot-path function Machine.process"
+	_ = sm
+	box(3) // want "boxes a concrete value into interface any"
+	box(m) // ok: pointers fit the interface word without an allocation
+	if len(m.scratch) == 0 {
+		panic(fmt.Sprintf("empty scratch %v", m)) // ok: panic arguments are terminal
+	}
+}
+
+// log is hot (called from process): fmt on the per-cycle path.
+func (m *Machine) log(msg string) {
+	fmt.Println(msg) // want "fmt.Println call in hot-path function Machine.log"
+}
+
+// box receives an interface argument.
+func box(v any) { _ = v }
+
+// refill is reachable from step but declared amortised-cold, so its
+// allocation is accepted and nothing past it is hot.
+//
+// simlint:coldpath slab refill amortised over thousands of cycles
+func (m *Machine) refill() {
+	m.scratch = make([]int, 4096) // ok: coldpath marker
+	m.deepCold()
+}
+
+// deepCold is only reachable through refill: not hot.
+func (m *Machine) deepCold() {
+	_ = make([]int, 1) // ok: unreachable from the hot roots
+}
+
+// report is never called from a hot root.
+func (m *Machine) report() string {
+	return fmt.Sprintf("%v", m.counts) // ok: cold function
+}
+
+// suppressed shows the per-site escape hatch.
+func (m *Machine) retire() {
+	// simlint:ignore hotalloc one-time growth, measured harmless
+	m.scratch = append(m.scratch, make([]int, 8)...)
+	m.refill()
+}

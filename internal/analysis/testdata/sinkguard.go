@@ -1,0 +1,55 @@
+// Fixture for the sinkguard analyzer.
+package fixture
+
+// Trace is the event record a sink consumes.
+type Trace struct {
+	Cycle int64
+	Kind  int
+}
+
+// TraceSink receives trace records; the Sink-suffixed interface name is
+// what marks it (and Trace, its parameter type) for the analyzer.
+type TraceSink interface {
+	Trace(t Trace)
+}
+
+// core mirrors the machine: a nil sink means observability is off.
+type core struct {
+	sink  TraceSink
+	cycle int64
+}
+
+// emitGuarded is the contract-conforming emitter.
+func (c *core) emitGuarded(kind int) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Trace(Trace{Cycle: c.cycle, Kind: kind}) // ok: nil check dominates
+}
+
+// emitUnguarded builds and delivers with no nil check at all.
+func (c *core) emitUnguarded(kind int) {
+	t := Trace{Cycle: c.cycle, Kind: kind} // want "without first nil-checking its sink"
+	c.sink.Trace(t)                        // want "without first nil-checking its sink"
+}
+
+// emitLate checks, but only after the record is built: the build cost is
+// paid even when observability is off.
+func (c *core) emitLate(kind int) {
+	t := Trace{Cycle: c.cycle, Kind: kind} // want "without first nil-checking its sink"
+	if c.sink != nil {
+		c.sink.Trace(t)
+	}
+}
+
+// noteSomething computes and delegates to a guarded emitter: it touches
+// neither the sink nor the record type, so no guard is required here.
+func (c *core) noteSomething(delay int64) {
+	c.emitGuarded(int(delay))
+}
+
+// suppressed shows the escape hatch for a deliberately unguarded path.
+func (c *core) suppressed(kind int) {
+	// simlint:ignore sinkguard caller guarantees a non-nil sink
+	c.sink.Trace(Trace{Cycle: c.cycle, Kind: kind})
+}

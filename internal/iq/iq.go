@@ -136,13 +136,17 @@ func (q *Queue) ForEach(f func(*uop.UOp)) {
 // Retained returns the number of entries held by instructions that have
 // issued (or completed) but whose entries have not yet been reclaimed —
 // the IQ-pressure population.
+// Iterating the cluster lists directly (rather than via ForEach) keeps the
+// per-cycle sampling path closure-free.
 func (q *Queue) Retained() int {
 	n := 0
-	q.ForEach(func(u *uop.UOp) {
-		if u.State == uop.StateIssued || u.State == uop.StateDone {
-			n++
+	for _, list := range q.byCluster {
+		for _, u := range list {
+			if u.State == uop.StateIssued || u.State == uop.StateDone {
+				n++
+			}
 		}
-	})
+	}
 	return n
 }
 

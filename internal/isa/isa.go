@@ -101,8 +101,10 @@ func (c OpClass) WritesReg() bool {
 	switch c {
 	case Nop, Store, Branch:
 		return false
+	default:
+		// IntALU, IntMul, FPAdd, FPMul, FPDiv, Load all produce a value.
+		return true
 	}
-	return true
 }
 
 // IsMem reports whether the class accesses data memory.

@@ -47,7 +47,10 @@ func (r *RingWriter) Event(e Event) {
 	}
 }
 
-// flush drains the ring to the encoder, latching the first error.
+// flush drains the ring to the encoder, latching the first error. Encoding
+// boxes and formats, but only once per ring capacity, not per event.
+//
+// simlint:coldpath batch drain amortised over the ring capacity
 func (r *RingWriter) flush() {
 	for _, e := range r.buf {
 		if err := r.enc.Encode(e); err != nil {
@@ -97,7 +100,10 @@ func NewIntervalCSV(w io.Writer) *IntervalCSV {
 	return c
 }
 
-// Interval writes one row.
+// Interval writes one row. Formatting here is once per sample period
+// (default 100k cycles), not per cycle.
+//
+// simlint:coldpath interval reporting amortised over the sample period
 func (c *IntervalCSV) Interval(iv Interval) {
 	if c.err != nil {
 		return
@@ -128,7 +134,9 @@ func NewIntervalJSONL(w io.Writer) *IntervalJSONL {
 	return &IntervalJSONL{enc: json.NewEncoder(w)}
 }
 
-// Interval writes one record.
+// Interval writes one record, once per sample period.
+//
+// simlint:coldpath interval reporting amortised over the sample period
 func (j *IntervalJSONL) Interval(iv Interval) {
 	if j.err != nil {
 		return

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"testing"
+
+	"loosesim/internal/workload"
+)
+
+// BenchmarkMachine measures the simulation hot path end to end: one
+// iteration is one full warmup+measurement run of the base machine. The
+// -benchmem allocs/op figure is the hotalloc analyzer's ground truth — the
+// per-cycle path must not regress (see scripts/check.sh and ISSUE 3's
+// acceptance criteria).
+func BenchmarkMachine(b *testing.B) {
+	wl, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(wl)
+	cfg.WarmupInstructions = 5_000
+	cfg.MeasureInstructions = 30_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.Run()
+		if res.Counters.Retired == 0 {
+			b.Fatal("no instructions retired")
+		}
+	}
+}
+
+// BenchmarkMachineDRA is the same run with the DRA enabled, covering the
+// operandsDelivered hot path.
+func BenchmarkMachineDRA(b *testing.B) {
+	wl, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DRAConfigRF(wl, 3)
+	cfg.WarmupInstructions = 5_000
+	cfg.MeasureInstructions = 30_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.Run()
+		if res.Counters.Retired == 0 {
+			b.Fatal("no instructions retired")
+		}
+	}
+}

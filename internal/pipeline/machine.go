@@ -101,6 +101,24 @@ type Machine struct {
 	rrRename        int
 	rrRetire        int
 	rrFetch         int
+
+	// Uop recycling. fetch draws records from pool; retire and squash
+	// enqueue dead records on the delay queue, and reclaimDead returns
+	// them to the pool once every stale reference has provably expired.
+	// srcReadyFn is m.srcReady bound once: passing the bound method to the
+	// IQ avoids allocating a fresh method-value closure every issue cycle.
+	pool       uop.Pool
+	dead       []deadRecord
+	deadHead   int
+	srcReadyFn func(*uop.UOp) bool
+}
+
+// deadRecord is one retired or squashed uop awaiting reuse: at is the first
+// cycle the record may be recycled. Death cycles are non-decreasing, so the
+// queue stays sorted by construction.
+type deadRecord struct {
+	u  *uop.UOp
+	at int64
 }
 
 // New builds a machine from cfg.
@@ -144,6 +162,7 @@ func New(cfg Config) (*Machine, error) {
 	m.readyAt = make([]int64, cfg.NumPhysRegs)
 	m.actualAt = make([]int64, cfg.NumPhysRegs)
 	m.regGen = make([]uint32, cfg.NumPhysRegs)
+	m.srcReadyFn = m.srcReady
 	for i, p := range cfg.Workload.Threads {
 		m.threads = append(m.threads, &threadState{
 			id: i,
@@ -221,6 +240,7 @@ func (m *Machine) inFlight() int {
 func (m *Machine) step() {
 	m.cycle++
 	m.ctr.Cycles = m.cycle
+	m.reclaimDead()
 	m.processEvents()
 	retired := m.retire()
 	if m.measuring {
@@ -249,6 +269,36 @@ func (m *Machine) schedule(kind int, cycle int64, e event) {
 		panic("pipeline: event scheduled beyond ring horizon")
 	}
 	m.rings[kind].schedule(cycle, e)
+}
+
+// recycleDead queues a just-retired or just-squashed record for reuse. The
+// event rings may still hold guarded references to it (tag/state checks
+// drop them when they fire), and a retired instruction's IQ entry may wait
+// on its evIQFree; both are scheduled at most ringSize-1 cycles ahead of
+// the death cycle, so after ringSize cycles nothing in the machine can
+// reach the record and it is safe to reissue.
+func (m *Machine) recycleDead(u *uop.UOp) {
+	m.dead = append(m.dead, deadRecord{u: u, at: m.cycle + ringSize})
+}
+
+// reclaimDead returns expired records to the pool; called once per cycle.
+func (m *Machine) reclaimDead() {
+	for m.deadHead < len(m.dead) && m.dead[m.deadHead].at <= m.cycle {
+		m.pool.Put(m.dead[m.deadHead].u)
+		m.dead[m.deadHead].u = nil
+		m.deadHead++
+	}
+	if m.deadHead == len(m.dead) {
+		m.dead = m.dead[:0]
+		m.deadHead = 0
+	} else if m.deadHead > 4096 && m.deadHead*2 > len(m.dead) {
+		n := copy(m.dead, m.dead[m.deadHead:])
+		for i := n; i < len(m.dead); i++ {
+			m.dead[i].u = nil
+		}
+		m.dead = m.dead[:n]
+		m.deadHead = 0
+	}
 }
 
 func (m *Machine) processEvents() {
@@ -510,6 +560,9 @@ func (m *Machine) onExec(e event) {
 			u.ExecCycle = now // address now known to the ordering logic
 			m.storeResolved(u)
 		}
+	default:
+		// IntALU, IntMul, FPAdd, FPMul, FPDiv, Branch, Nop: no memory
+		// access; the class latency computed above is the whole story.
 	}
 
 	if u.Dest != regfile.PRegInvalid {
@@ -656,6 +709,7 @@ func (m *Machine) squashYounger(t *threadState, seq uint64) {
 			m.rf.SquashRestore(t.id, u.Inst.Dest, u.Dest, u.OldPhy)
 		}
 		u.State = uop.StateSquashed
+		m.recycleDead(u)
 	}
 	w.truncFrom(keep)
 	t.untrackSquashed(seq)
@@ -696,6 +750,7 @@ func (m *Machine) retire() int {
 		t.retired++
 		m.ctr.Retired++
 		m.lastRetireCycle = m.cycle
+		m.recycleDead(u)
 		budget--
 	}
 	return m.cfg.RetireWidth - budget
@@ -725,7 +780,7 @@ func (m *Machine) srcReady(u *uop.UOp) bool {
 // speculation of the load resolution loop.
 func (m *Machine) issue() {
 	for c := 0; c < m.cfg.Clusters; c++ {
-		u := m.q.SelectOldestReady(c, m.srcReady)
+		u := m.q.SelectOldestReady(c, m.srcReadyFn)
 		if u == nil {
 			continue
 		}
@@ -848,7 +903,7 @@ func (m *Machine) fetch() {
 			in = t.gen.Next()
 		}
 		m.seq++
-		u := uop.New(in, t.id, m.seq, m.cycle)
+		u := m.pool.Get(in, t.id, m.seq, m.cycle)
 		u.WrongPath = t.wrongPath
 		t.window.push(u)
 		t.decode.push(u)

@@ -107,6 +107,9 @@ func (m *Machine) sampleInterval() {
 // emitInterval closes the open interval: the counter delta since the last
 // snapshot becomes one obs.Interval with its derived rates.
 func (m *Machine) emitInterval() {
+	if m.ivSink == nil {
+		return
+	}
 	d := m.ctr.sub(m.ivSnap)
 	pr, fw, crc, miss := d.OperandShare()
 	iv := obs.Interval{

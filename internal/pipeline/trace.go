@@ -40,7 +40,10 @@ func (t *Tracer) header() {
 }
 
 // record emits one retired instruction. Tracing errors latch; the first is
-// reported by Err.
+// reported by Err. Tracing is an opt-in debug mode — a traced run pays for
+// formatting, an untraced run never reaches this function.
+//
+// simlint:coldpath opt-in trace mode; formatting cost accepted when tracing
 func (t *Tracer) record(u *uop.UOp, retireCycle int64) {
 	if t.err != nil || (t.limit > 0 && t.count >= t.limit) {
 		return

@@ -115,14 +115,24 @@ type UOp struct {
 	MemTracked bool
 }
 
-// New returns a UOp in decode state with timestamps cleared.
+// New returns a UOp in decode state with timestamps cleared. The pipeline's
+// fetch stage recycles records through a Pool instead; New remains for
+// construction off the per-cycle path (tests, tools).
 func New(in isa.Inst, thread int, seq uint64, fetchCycle int64) *UOp {
-	u := &UOp{
-		Inst:          in,
-		Thread:        thread,
-		Seq:           seq,
+	u := &UOp{}
+	u.Reset()
+	u.Inst, u.Thread, u.Seq, u.FetchCycle = in, thread, seq, fetchCycle
+	return u
+}
+
+// Reset returns the record to the pre-fetch state New establishes: decode
+// state, invalid registers, every timestamp at NoCycle, all speculation and
+// tracking flags cleared. A recycled record is indistinguishable from a
+// fresh one.
+func (u *UOp) Reset() {
+	*u = UOp{
 		State:         StateDecode,
-		FetchCycle:    fetchCycle,
+		FetchCycle:    NoCycle,
 		EnterIQCycle:  NoCycle,
 		IssueCycle:    NoCycle,
 		ExecCycle:     NoCycle,
@@ -130,11 +140,52 @@ func New(in isa.Inst, thread int, seq uint64, fetchCycle int64) *UOp {
 		IQFreeCycle:   NoCycle,
 		Dest:          regfile.PRegInvalid,
 		OldPhy:        regfile.PRegInvalid,
+		Src:           [2]regfile.PReg{regfile.PRegInvalid, regfile.PRegInvalid},
+		SrcAvail:      [2]int64{NoCycle, NoCycle},
+		DataReady:     NoCycle,
 	}
-	u.Src[0], u.Src[1] = regfile.PRegInvalid, regfile.PRegInvalid
-	u.SrcAvail[0], u.SrcAvail[1] = NoCycle, NoCycle
-	u.DataReady = NoCycle
+}
+
+// poolSlab is the number of records one refill allocates.
+const poolSlab = 1024
+
+// Pool hands out reset UOp records, recycling the ones returned to it. The
+// caller owns the recycling discipline: a record must not be Put back while
+// anything — a scheduled event, a queue, a tracking list — still holds a
+// pointer to it. Not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Pool struct {
+	free []*UOp
+}
+
+// Get returns a record in decode state, exactly as New would build it.
+func (p *Pool) Get(in isa.Inst, thread int, seq uint64, fetchCycle int64) *UOp {
+	if len(p.free) == 0 {
+		p.refill()
+	}
+	u := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	u.Reset()
+	u.Inst, u.Thread, u.Seq, u.FetchCycle = in, thread, seq, fetchCycle
 	return u
+}
+
+// Put returns a dead record for reuse. The caller must guarantee no live
+// references remain.
+func (p *Pool) Put(u *UOp) {
+	p.free = append(p.free, u)
+}
+
+// refill grows the free list by one slab. A single backing allocation
+// serves poolSlab fetches; in steady state (window-bounded in-flight count
+// plus the recycling delay) refill stops being called at all.
+//
+// simlint:coldpath slab refill amortised over poolSlab records
+func (p *Pool) refill() {
+	slab := make([]UOp, poolSlab)
+	for i := range slab {
+		p.free = append(p.free, &slab[i])
+	}
 }
 
 // IsLoad reports whether the instruction is a load.

@@ -14,6 +14,11 @@ go vet ./...
 echo "==> simlint ./..."
 go run ./cmd/simlint ./...
 
+echo "==> simlint hot-path gate (hotalloc,exhaustive,fieldreset,sinkguard)"
+# Redundant with the full run above, but an explicit gate: the cross-package
+# analyzers must stay enabled and clean even if someone trims the default set.
+go run ./cmd/simlint -enable hotalloc,exhaustive,fieldreset,sinkguard ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
