@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +18,8 @@ import (
 	"time"
 
 	"loosesim/internal/experiments"
+	"loosesim/internal/pipeline"
+	"loosesim/internal/serve"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "short runs (smoke-test quality)")
 		measure  = flag.Uint64("inst", 0, "override measured instructions per run")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory (shareable with loosimd -cache)")
 	)
 	flag.Parse()
 
@@ -46,6 +50,17 @@ func main() {
 		opt.Measure = *measure
 	}
 	opt.Seed = *seed
+
+	var cstats serve.CacheStats
+	if *cacheDir != "" {
+		store, err := serve.NewDirStore(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Runner = func(cfgs []pipeline.Config) ([]*pipeline.Result, error) {
+			return serve.RunAllCached(context.Background(), store, &cstats, cfgs)
+		}
+	}
 
 	type job struct {
 		name string
@@ -135,5 +150,8 @@ func main() {
 		}
 		fmt.Println(t)
 		fmt.Printf("[%s took %.1fs]\n\n", j.name, wall)
+	}
+	if *cacheDir != "" {
+		fmt.Printf("[cache: %d hits, %d misses]\n", cstats.Hits(), cstats.Misses())
 	}
 }

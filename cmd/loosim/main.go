@@ -94,6 +94,30 @@ type intervalWriter interface {
 	Err() error
 }
 
+// verifyStreams checks every observability output for a latched error
+// once the run completes. Any truncated stream — including an error that
+// latches only during the final Flush, after the last mid-run batch — must
+// fail the run: main exits nonzero on a non-nil return. Nil arguments are
+// streams that were never attached.
+func verifyStreams(evw *obs.RingWriter, ivw intervalWriter, tr *pipeline.Tracer) error {
+	if evw != nil {
+		if err := evw.Flush(); err != nil {
+			return fmt.Errorf("event stream truncated: %w", err)
+		}
+	}
+	if ivw != nil {
+		if err := ivw.Err(); err != nil {
+			return fmt.Errorf("interval stream truncated: %w", err)
+		}
+	}
+	if tr != nil {
+		if err := tr.Err(); err != nil {
+			return fmt.Errorf("trace truncated after %d records: %w", tr.Count(), err)
+		}
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loosim: ")
@@ -222,25 +246,17 @@ func main() {
 
 	// Flush and verify every observability output before reporting: a
 	// truncated stream must fail the run, not pass silently.
-	if evw != nil {
-		if err := evw.Flush(); err != nil {
-			log.Fatalf("event stream truncated: %v", err)
-		}
+	if err := verifyStreams(evw, ivw, cfg.Tracer); err != nil {
+		log.Fatal(err)
+	}
+	if evFile != nil {
 		if err := evFile.Close(); err != nil {
 			log.Fatalf("event stream: %v", err)
 		}
 	}
-	if ivw != nil {
-		if err := ivw.Err(); err != nil {
-			log.Fatalf("interval stream truncated: %v", err)
-		}
+	if ivFile != nil {
 		if err := ivFile.Close(); err != nil {
 			log.Fatalf("interval stream: %v", err)
-		}
-	}
-	if cfg.Tracer != nil {
-		if err := cfg.Tracer.Err(); err != nil {
-			log.Fatalf("trace truncated after %d records: %v", cfg.Tracer.Count(), err)
 		}
 	}
 

@@ -1,0 +1,175 @@
+// Command loosimd serves simulation and figure jobs over HTTP: a bounded
+// worker pool runs them on the deterministic pipeline, a content-addressed
+// cache (in-memory, or on disk with -cache, shared with `experiments
+// -cache`) makes repeated sweep points instant, and /metrics exposes queue
+// depth, cache hit rate, per-job KIPS, and aggregate loop delays.
+//
+//	loosimd -addr :8087 -cache /var/tmp/loosesim-cache
+//	curl -s localhost:8087/api/v1/jobs?wait=1 -d '{"bench":"gcc","dra":true}'
+//	curl -s localhost:8087/metrics
+//
+// SIGINT/SIGTERM drain gracefully: submissions stop, queued and running
+// jobs finish (up to -drain), then the process exits. -selfcheck starts
+// the server on a loopback port, drives one job through the full HTTP API,
+// verifies /metrics, drains, and exits — the CI smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"loosesim/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8087", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queue depth (0 = default)")
+	cacheDir := flag.String("cache", "", "persist the result cache in this directory (default: in-memory)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	selfcheck := flag.Bool("selfcheck", false, "run one job through the HTTP API on a loopback port and exit")
+	flag.Parse()
+
+	var store serve.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = serve.NewDirStore(*cacheDir)
+		if err != nil {
+			log.Fatalf("loosimd: %v", err)
+		}
+	}
+	srv := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Store:      store,
+		Now:        time.Now,
+	})
+
+	if *selfcheck {
+		if err := runSelfcheck(srv, *drain); err != nil {
+			log.Fatalf("loosimd: selfcheck: %v", err)
+		}
+		fmt.Println("loosimd selfcheck ok")
+		return
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// main must not exit when ListenAndServe unblocks on Shutdown — the
+	// pool may still be finishing jobs; drained gates the final return.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-sig
+		log.Printf("loosimd: draining (budget %s)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("loosimd: http shutdown: %v", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("loosimd: drain: %v", err)
+		}
+	}()
+	log.Printf("loosimd: listening on %s (workers=%d)", *addr, srv.Metrics().Workers)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("loosimd: %v", err)
+	}
+	<-drained
+}
+
+// runSelfcheck exercises the full service over real HTTP: submit a small
+// job twice (the second must hit the cache), check /metrics, and drain.
+func runSelfcheck(srv *serve.Server, drain time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("loosimd: selfcheck server: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+
+	spec := []byte(`{"bench":"apsi","warmup":20000,"inst":60000,"events":true}`)
+	var first, second struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := postJSON(base+"/api/v1/jobs?wait=1", spec, &first); err != nil {
+		return fmt.Errorf("first submit: %w", err)
+	}
+	if first.State != "done" {
+		return fmt.Errorf("first job state = %q, want done", first.State)
+	}
+	if err := postJSON(base+"/api/v1/jobs?wait=1", spec, &second); err != nil {
+		return fmt.Errorf("second submit: %w", err)
+	}
+	if second.State != "done" || !second.Cached {
+		return fmt.Errorf("second job state = %q cached = %v, want a cache hit", second.State, second.Cached)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var m serve.Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if m.Cache.Hits < 1 || m.Cache.HitRate <= 0 {
+		return fmt.Errorf("metrics cache hits = %d rate = %v, want a hit", m.Cache.Hits, m.Cache.HitRate)
+	}
+	if m.Jobs.Completed < 2 {
+		return fmt.Errorf("metrics completed = %d, want >= 2", m.Jobs.Completed)
+	}
+	if len(m.Loops) == 0 {
+		return errors.New("metrics has no loop aggregates despite an events-enabled job")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	return srv.Drain(ctx)
+}
+
+// postJSON posts body and decodes the JSON response into out, treating
+// non-2xx statuses as errors.
+func postJSON(url string, body []byte, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			log.Printf("loosimd: response close: %v", cerr)
+		}
+	}()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

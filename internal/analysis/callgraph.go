@@ -45,6 +45,10 @@ var HotPathRoots = []string{
 	"Machine.issue",
 	"Machine.retire",
 	"Machine.operandsDelivered",
+	// The serve-layer event sink runs inside the per-cycle event path of
+	// every job the daemon hosts, so it is held to the same allocation
+	// discipline as the machine itself.
+	"jobEventSink.Event",
 }
 
 // FuncInfo ties one declared function or method to its syntax and package.

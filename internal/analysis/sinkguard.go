@@ -29,7 +29,8 @@ func SinkGuard() *Analyzer {
 		Name: "sinkguard",
 		Doc:  "requires sink emitters to nil-check their sink before building or delivering an event",
 		AppliesTo: func(pkgPath string) bool {
-			return strings.HasSuffix(pkgPath, "internal/pipeline")
+			return strings.HasSuffix(pkgPath, "internal/pipeline") ||
+				strings.HasSuffix(pkgPath, "internal/serve")
 		},
 	}
 	a.Run = func(pass *Pass) {

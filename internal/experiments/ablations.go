@@ -15,7 +15,7 @@ import (
 func AblationLoadRecovery(opt Options) (*Table, error) {
 	benches := []string{"comp", "gcc", "swim", "turb3d"}
 	policies := []pipeline.LoadRecovery{loosesim.LoadReissue, loosesim.LoadRefetch, loosesim.LoadStall}
-	ipcs, err := runGrid(benches, len(policies), func(b string, v int) (pipeline.Config, error) {
+	ipcs, err := runGrid(opt, benches, len(policies), func(b string, v int) (pipeline.Config, error) {
 		cfg, err := loosesim.DefaultMachine(b)
 		if err != nil {
 			return cfg, err
@@ -51,7 +51,7 @@ func AblationCRC(opt Options) (*Table, error) {
 		entries, bits int
 	}
 	geoms := []geom{{4, 2}, {8, 2}, {16, 2}, {32, 2}, {16, 1}, {16, 3}}
-	ipcs, err := runGrid(benches, len(geoms), func(b string, v int) (pipeline.Config, error) {
+	ipcs, err := runGrid(opt, benches, len(geoms), func(b string, v int) (pipeline.Config, error) {
 		cfg, err := loosesim.DRAMachine(b, 5)
 		if err != nil {
 			return cfg, err
@@ -101,7 +101,7 @@ func AblationForwardDepth(opt Options) (*Table, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +150,7 @@ func AblationCRCPolicy(opt Options) (*Table, error) {
 		{"fifo+to100", core.FIFO, 100},
 		{"fifo+to400", core.FIFO, 400},
 	}
-	ipcs, err := runGrid(benches, len(variants), func(b string, v int) (pipeline.Config, error) {
+	ipcs, err := runGrid(opt, benches, len(variants), func(b string, v int) (pipeline.Config, error) {
 		cfg, err := loosesim.DRAMachine(b, 5)
 		if err != nil {
 			return cfg, err
@@ -211,7 +211,7 @@ func AblationMonolithic(opt Options) (*Table, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +266,7 @@ func AblationMemDep(opt Options) (*Table, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +314,7 @@ func AblationIQPressure(opt Options) (*Table, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +364,7 @@ func AblationPredictor(opt Options) (*Table, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}

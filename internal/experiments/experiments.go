@@ -22,6 +22,12 @@ type Options struct {
 	Warmup uint64
 	// Seed is the base simulation seed.
 	Seed int64
+	// Runner, when non-nil, replaces loosesim.RunAll as the batch engine
+	// behind every experiment. The serving layer injects a cached runner
+	// here (serve.RunAllCached) so regenerating a figure reuses any sweep
+	// point already in the content-addressed store. A Runner must honour
+	// RunAll's contract: results in input order, first error aborts.
+	Runner func([]pipeline.Config) ([]*pipeline.Result, error)
 }
 
 // DefaultOptions returns full-length runs (the numbers EXPERIMENTS.md
@@ -39,6 +45,14 @@ func (o Options) apply(cfg *pipeline.Config) {
 	cfg.MeasureInstructions = o.Measure
 	cfg.WarmupInstructions = o.Warmup
 	cfg.Seed = o.Seed
+}
+
+// runBatch routes a batch of simulations through the configured engine.
+func (o Options) runBatch(cfgs []pipeline.Config) ([]*pipeline.Result, error) {
+	if o.Runner != nil {
+		return o.Runner(cfgs)
+	}
+	return loosesim.RunAll(cfgs)
 }
 
 // Table is one experiment's result grid.
@@ -105,7 +119,7 @@ func (t *Table) String() string {
 
 // runGrid runs one simulation per (benchmark, variant) and returns IPCs
 // indexed [bench][variant].
-func runGrid(benches []string, variants int, mk func(bench string, v int) (pipeline.Config, error)) ([][]float64, error) {
+func runGrid(opt Options, benches []string, variants int, mk func(bench string, v int) (pipeline.Config, error)) ([][]float64, error) {
 	var cfgs []pipeline.Config
 	for _, b := range benches {
 		for v := 0; v < variants; v++ {
@@ -116,7 +130,7 @@ func runGrid(benches []string, variants int, mk func(bench string, v int) (pipel
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +151,7 @@ func runGrid(benches []string, variants int, mk func(bench string, v int) (pipel
 // relative to the 6-cycle machine, with a 128-entry IQ.
 func Fig4(opt Options) (*Table, error) {
 	lats := []int{3, 5, 7, 9} // per-half latencies: totals 6, 10, 14, 18
-	ipcs, err := runGrid(workload.PaperOrder(), len(lats), func(b string, v int) (pipeline.Config, error) {
+	ipcs, err := runGrid(opt, workload.PaperOrder(), len(lats), func(b string, v int) (pipeline.Config, error) {
 		cfg, err := loosesim.DefaultMachine(b)
 		if err != nil {
 			return cfg, err
@@ -169,7 +183,7 @@ func Fig4(opt Options) (*Table, error) {
 // DEC-IQ_IQ-EX in {3_9, 5_7, 7_5, 9_3}, relative to 3_9.
 func Fig5(opt Options) (*Table, error) {
 	splits := [][2]int{{3, 9}, {5, 7}, {7, 5}, {9, 3}}
-	ipcs, err := runGrid(workload.PaperOrder(), len(splits), func(b string, v int) (pipeline.Config, error) {
+	ipcs, err := runGrid(opt, workload.PaperOrder(), len(splits), func(b string, v int) (pipeline.Config, error) {
 		cfg, err := loosesim.DefaultMachine(b)
 		if err != nil {
 			return cfg, err
@@ -206,10 +220,11 @@ func Fig6(opt Options) (*Table, error) {
 		return nil, err
 	}
 	opt.apply(&cfg)
-	res, err := loosesim.Run(cfg)
+	results, err := opt.runBatch([]pipeline.Config{cfg})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	t := &Table{
 		Title:  "Figure 6: CDF of cycles between operand availability (turb3d)",
 		Header: []string{"cum_frac"},
@@ -233,7 +248,7 @@ func Fig6(opt Options) (*Table, error) {
 func Fig8(opt Options) (*Table, error) {
 	rfs := []int{3, 5, 7}
 	// Variants: for each rf, base then DRA.
-	ipcs, err := runGrid(workload.PaperOrder(), 2*len(rfs), func(b string, v int) (pipeline.Config, error) {
+	ipcs, err := runGrid(opt, workload.PaperOrder(), 2*len(rfs), func(b string, v int) (pipeline.Config, error) {
 		rf := rfs[v/2]
 		var cfg pipeline.Config
 		var err error
@@ -279,7 +294,7 @@ func Fig9(opt Options) (*Table, error) {
 		opt.apply(&cfg)
 		cfgs = append(cfgs, cfg)
 	}
-	results, err := loosesim.RunAll(cfgs)
+	results, err := opt.runBatch(cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -118,6 +118,61 @@ func TestRingWriterLatchesError(t *testing.T) {
 	}
 }
 
+// TestRingWriterFinalFlushLatchesError covers the end-of-run audit case:
+// when the ring never fills mid-run, the first write happens inside the
+// final Flush, and a failure there must both be returned and latch — this
+// is the error cmd/loosim's verifyStreams turns into a nonzero exit.
+func TestRingWriterFinalFlushLatchesError(t *testing.T) {
+	w := NewRingWriter(&failAfter{n: 0}, 100) // capacity > events: no mid-run flush
+	for i := 0; i < 5; i++ {
+		w.Event(Event{Cycle: int64(i)})
+	}
+	if w.Err() != nil {
+		t.Fatal("no write may happen before the final flush")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("final-flush failure must be returned")
+	}
+	if w.Err() == nil {
+		t.Fatal("final-flush failure must latch")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("repeated Flush must keep reporting the latched error")
+	}
+}
+
+// TestIntervalCSVLatchesRowError covers the non-header case: the header
+// succeeds, a later row fails, and the error must latch without being
+// overwritten by subsequent (dropped) rows.
+func TestIntervalCSVLatchesRowError(t *testing.T) {
+	w := NewIntervalCSV(&failAfter{n: 1}) // header ok, first row fails
+	if w.Err() != nil {
+		t.Fatal("header must succeed")
+	}
+	w.Interval(Interval{Index: 0})
+	err := w.Err()
+	if err == nil {
+		t.Fatal("row write error must latch")
+	}
+	w.Interval(Interval{Index: 1}) // dropped silently
+	if w.Err() != err {
+		t.Fatal("latched error must not change once set")
+	}
+}
+
+func TestIntervalJSONLLatchesError(t *testing.T) {
+	w := NewIntervalJSONL(&failAfter{n: 1})
+	w.Interval(Interval{Index: 0})
+	if w.Err() != nil {
+		t.Fatal("first record must succeed")
+	}
+	w.Interval(Interval{Index: 1})
+	if w.Err() == nil {
+		t.Fatal("record write error must latch")
+	}
+	w.Interval(Interval{Index: 2}) // dropped, must not panic
+}
+
 func TestLoopDelaysAggregation(t *testing.T) {
 	l := NewLoopDelays(0)
 	for i := 0; i < 100; i++ {

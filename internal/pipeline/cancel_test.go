@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"loosesim/internal/workload"
+)
+
+func cancelCfg(t *testing.T, measure uint64) Config {
+	t.Helper()
+	wl, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(wl)
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = measure
+	return cfg
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := New(cancelCfg(t, 1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("aborted run must not return a partial result")
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m, err := New(cancelCfg(t, 50_000_000)) // far longer than the test would tolerate
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		cancel() // races the run start; the per-4096-cycle poll must catch it
+	}()
+	res, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return a result")
+	}
+}
+
+func TestRunContextCycleBudget(t *testing.T) {
+	cfg := cancelCfg(t, 1_000_000)
+	cfg.CycleBudget = 1 // the acceptance case: abort promptly at one cycle
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunContext(context.Background())
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want ErrCycleBudget", err)
+	}
+	if res != nil {
+		t.Fatal("budget-aborted run must not return a result")
+	}
+	// Run (the legacy entry point) reports the same abort as a nil result.
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Run() != nil {
+		t.Fatal("Run must report a budget abort as nil")
+	}
+}
+
+// TestRunContextBudgetDoesNotPerturb locks the guard-rail contract: a run
+// that completes within its budget is byte-identical to the same run with
+// no budget, and to the same run under plain Run.
+func TestRunContextBudgetDoesNotPerturb(t *testing.T) {
+	cfg := cancelCfg(t, 20_000)
+	base := run(t, cfg)
+
+	cfg.CycleBudget = 1 << 40
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Counters != base.Counters {
+		t.Errorf("budgeted counters diverge:\n got %+v\nwant %+v", budgeted.Counters, base.Counters)
+	}
+	if budgeted.TotalCycles != base.TotalCycles {
+		t.Errorf("budgeted cycles = %d, want %d", budgeted.TotalCycles, base.TotalCycles)
+	}
+}
+
+func TestValidateRejectsNegativeBudget(t *testing.T) {
+	cfg := cancelCfg(t, 1000)
+	cfg.CycleBudget = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CycleBudget must fail validation")
+	}
+}

@@ -160,6 +160,14 @@ type Config struct {
 	WarmupInstructions  uint64
 	MeasureInstructions uint64
 
+	// CycleBudget, when positive, bounds the run in simulated cycles:
+	// RunContext aborts with ErrCycleBudget once the machine passes it
+	// without finishing its measurement window. Zero means unbounded. The
+	// budget is a guard rail around the run, not part of the modelled
+	// machine — a run that completes within its budget is cycle-for-cycle
+	// identical to the same run with no budget.
+	CycleBudget int64
+
 	// Tracer, when non-nil, receives one record per retired instruction
 	// (a pipeline-viewer stream). Tracing does not perturb timing.
 	Tracer *Tracer // simlint:novalidate nil and non-nil are both legal
@@ -304,6 +312,9 @@ func (c *Config) Validate() error {
 	}
 	if c.SampleInterval < 0 {
 		return fmt.Errorf("pipeline: SampleInterval = %d, must be >= 0", c.SampleInterval)
+	}
+	if c.CycleBudget < 0 {
+		return fmt.Errorf("pipeline: CycleBudget = %d, must be >= 0", c.CycleBudget)
 	}
 	if c.WarmupInstructions > 1<<40 {
 		return fmt.Errorf("pipeline: WarmupInstructions = %d, implausibly large", c.WarmupInstructions)

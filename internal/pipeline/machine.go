@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"loosesim/internal/bpred"
@@ -178,12 +180,50 @@ func New(cfg Config) (*Machine, error) {
 }
 
 // Run simulates until the warmup plus measurement instruction budget
-// retires and returns the measurement-window result.
+// retires and returns the measurement-window result. It is RunContext
+// under a background context; callers that set Config.CycleBudget should
+// prefer RunContext, since Run reports a budget abort only as a nil
+// Result.
 func (m *Machine) Run() *Result {
+	res, _ := m.RunContext(context.Background())
+	return res
+}
+
+// cancelCheckInterval is how often, in simulated cycles, RunContext polls
+// its context. A power of two keeps the check to a mask and a compare; at
+// 4096 cycles the poll is invisible in profiles yet bounds the abort
+// latency to well under a millisecond of host time.
+const cancelCheckInterval = 1 << 12
+
+// ErrCycleBudget is returned by RunContext when Config.CycleBudget expires
+// before the measurement window completes.
+var ErrCycleBudget = errors.New("pipeline: cycle budget exhausted")
+
+// RunContext is Run with cooperative cancellation: every
+// cancelCheckInterval cycles the machine polls ctx and aborts with
+// ctx.Err() if it is done, and a positive Config.CycleBudget aborts the
+// run with ErrCycleBudget once the cycle counter passes it. Both checks
+// are outside the modelled machine — a run that finishes is identical to
+// the same run under Run. On abort the partial state is discarded and the
+// Result is nil; a Machine is single-use either way.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
+	budget := m.cfg.CycleBudget
 	if m.cfg.WarmupInstructions == 0 {
 		m.startMeasuring()
 	}
 	for !m.measuring || m.ctr.Retired-m.warmSnap.Retired < m.cfg.MeasureInstructions {
+		if budget > 0 && m.cycle >= budget {
+			return nil, fmt.Errorf("%w: budget %d spent at cycle %d with %d retired",
+				ErrCycleBudget, budget, m.cycle, m.ctr.Retired)
+		}
+		if done != nil && m.cycle&(cancelCheckInterval-1) == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		m.step()
 		if !m.measuring && m.ctr.Retired >= m.cfg.WarmupInstructions {
 			m.startMeasuring()
@@ -211,7 +251,7 @@ func (m *Machine) Run() *Result {
 	for _, t := range m.threads {
 		res.RetiredPerThread = append(res.RetiredPerThread, t.retired-t.warmRetired)
 	}
-	return res
+	return res, nil
 }
 
 // startMeasuring snapshots counters at the warmup boundary.

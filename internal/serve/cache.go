@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"loosesim"
+	"loosesim/internal/pipeline"
+)
+
+// ConfigKey returns the content address of a simulation: a sha256 over the
+// canonical JSON encoding of cfg with the observability hooks (Tracer,
+// Events, Intervals, SampleInterval) and the CycleBudget guard rail
+// zeroed. Those fields are excluded because they cannot change a completed
+// run's Result — probes are passive by contract, and a budget only decides
+// whether a run finishes, never what it computes. Everything else — the
+// workload profiles, every width, latency and size, the policies, the
+// seed, the run lengths — is part of the key. Canonicality comes from
+// encoding/json itself: struct fields encode in declaration order with no
+// map in the Config tree, so equal Configs produce byte-equal JSON, and
+// two Configs hash equal exactly when Run would produce identical Results.
+func ConfigKey(cfg pipeline.Config) (string, error) {
+	cfg.Tracer = nil
+	cfg.Events = nil
+	cfg.Intervals = nil
+	cfg.SampleInterval = 0
+	cfg.CycleBudget = 0
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("serve: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Store is a content-addressed result cache. Implementations must be safe
+// for concurrent use.
+type Store interface {
+	// Get returns the result stored under key, if any.
+	Get(key string) (*pipeline.Result, bool, error)
+	// Put stores res under key, overwriting any previous entry.
+	Put(key string, res *pipeline.Result) error
+}
+
+// encodeResult and decodeResult fix the cache's wire format: plain JSON,
+// with Result's histogram carrying its own marshaller (stats.Histogram).
+func encodeResult(res *pipeline.Result) ([]byte, error) {
+	return json.Marshal(res)
+}
+
+func decodeResult(b []byte) (*pipeline.Result, error) {
+	res := &pipeline.Result{}
+	if err := json.Unmarshal(b, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MemStore is an in-process Store. It holds the encoded form, so a caller
+// can never alias (and then mutate) a cached Result.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (*pipeline.Result, bool, error) {
+	s.mu.Lock()
+	b, ok := s.m[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	res, err := decodeResult(b)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, res *pipeline.Result) error {
+	b, err := encodeResult(res)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[key] = b
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// DirStore persists results as one JSON file per key in a directory, so a
+// cache survives restarts and is shared between loosimd and
+// `experiments -cache` pointing at the same path.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a key to its file, refusing keys that are not lowercase hex —
+// every ConfigKey is, and anything else could escape the directory.
+func (s *DirStore) path(key string) (string, error) {
+	if key == "" {
+		return "", errors.New("serve: empty cache key")
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return "", fmt.Errorf("serve: malformed cache key %q", key)
+		}
+	}
+	return filepath.Join(s.dir, key+".json"), nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) (*pipeline.Result, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := decodeResult(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: corrupt cache entry %s: %w", key, err)
+	}
+	return res, true, nil
+}
+
+// Put implements Store. The entry is written to a temporary file and
+// renamed into place, so concurrent readers never observe a torn write.
+func (s *DirStore) Put(key string, res *pipeline.Result) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	b, err := encodeResult(res)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, key+".tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		_ = os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), p); err != nil {
+		_ = os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// CacheStats counts cache traffic; all methods are safe for concurrent
+// use.
+type CacheStats struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	putErrors atomic.Uint64
+}
+
+// Hits returns the number of lookups served from the store.
+func (c *CacheStats) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the number of lookups that had to simulate.
+func (c *CacheStats) Misses() uint64 { return c.misses.Load() }
+
+// PutErrors returns the number of failed write-backs.
+func (c *CacheStats) PutErrors() uint64 { return c.putErrors.Load() }
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c *CacheStats) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// RunAllCached is loosesim.RunAllContext behind a content-addressed cache:
+// hits are served from the store, misses run on the bounded worker pool
+// and are written back, and results return in input order. Identical
+// configs within one batch are coalesced into a single simulation. A store
+// read error is treated as a miss; a write-back error is counted (cs, when
+// non-nil, is updated throughout) but does not fail the batch — the
+// results are still correct, merely uncached. A nil store degrades to
+// loosesim.RunAllContext.
+func RunAllCached(ctx context.Context, store Store, cs *CacheStats, cfgs []pipeline.Config) ([]*pipeline.Result, error) {
+	if store == nil {
+		return loosesim.RunAllContext(ctx, cfgs)
+	}
+	results := make([]*pipeline.Result, len(cfgs))
+	keys := make([]string, len(cfgs))
+	var missIdx []int
+	firstMiss := make(map[string]int) // key -> index of the batch entry that will simulate it
+	var dupIdx []int
+	for i := range cfgs {
+		key, err := ConfigKey(cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+		keys[i] = key
+		if res, ok, _ := store.Get(key); ok {
+			if cs != nil {
+				cs.hits.Add(1)
+			}
+			results[i] = res
+			continue
+		}
+		if _, ok := firstMiss[key]; ok {
+			if cs != nil {
+				cs.hits.Add(1) // coalesced: served without its own simulation
+			}
+			dupIdx = append(dupIdx, i)
+			continue
+		}
+		if cs != nil {
+			cs.misses.Add(1)
+		}
+		firstMiss[key] = i
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 && len(dupIdx) == 0 {
+		return results, nil
+	}
+	miss := make([]pipeline.Config, len(missIdx))
+	for j, i := range missIdx {
+		miss[j] = cfgs[i]
+	}
+	ran, err := loosesim.RunAllContext(ctx, miss)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		results[i] = ran[j]
+		if err := store.Put(keys[i], ran[j]); err != nil {
+			if cs != nil {
+				cs.putErrors.Add(1)
+			}
+		}
+	}
+	for _, i := range dupIdx {
+		results[i] = results[firstMiss[keys[i]]]
+	}
+	return results, nil
+}

@@ -1,0 +1,726 @@
+// Package serve is the simulation service layer behind cmd/loosimd: an
+// HTTP JSON API that accepts simulation and figure jobs, runs them on a
+// bounded worker pool (machines constructed lazily, one live per worker),
+// memoizes results in a content-addressed cache keyed by the canonical
+// hash of a pipeline.Config, and exposes queue depth, cache hit rate,
+// per-job throughput, and aggregate loop delays on /metrics.
+//
+// The package is host-side plumbing, not simulator code: everything it
+// serves is computed by the same deterministic pipeline the CLI tools use,
+// and it never reads the wall clock itself — the host clock is injected by
+// the command via Options.Now, keeping the noclock contract intact for all
+// of internal/.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loosesim/internal/experiments"
+	"loosesim/internal/obs"
+	"loosesim/internal/pipeline"
+	"loosesim/internal/stats"
+	"loosesim/internal/workload"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Workers bounds the number of simulations running concurrently;
+	// <= 0 selects GOMAXPROCS. Each worker constructs its machine only
+	// when it picks a job up, so peak live machines never exceeds
+	// Workers regardless of queue length.
+	Workers int
+	// QueueDepth bounds accepted-but-unstarted jobs; submissions against
+	// a full queue fail with ErrQueueFull. <= 0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+	// Store is the result cache shared by all jobs; nil selects a fresh
+	// in-memory store.
+	Store Store
+	// Now is the host clock used for per-job KIPS metrics. The command
+	// injects time.Now; nil disables wall-time metrics (internal
+	// packages never read the clock themselves).
+	Now func() time.Time
+}
+
+// DefaultQueueDepth is the queue bound when Options.QueueDepth is not set.
+const DefaultQueueDepth = 256
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Submission and lifecycle errors.
+var (
+	ErrDraining  = errors.New("serve: draining, not accepting jobs")
+	ErrQueueFull = errors.New("serve: queue full")
+)
+
+// JobSpec is the JSON body of a submission: exactly one of Bench (a single
+// simulation) or Figure (a whole paper figure regenerated through the
+// cache) must be set.
+type JobSpec struct {
+	// Single-simulation jobs. Zero values select the paper's base
+	// machine defaults, mirroring cmd/loosim's flags.
+	Bench   string  `json:"bench,omitempty"`
+	DRA     bool    `json:"dra,omitempty"`
+	RegRead int     `json:"regread,omitempty"` // register file read latency; 0 = 3
+	DecIQ   int     `json:"deciq,omitempty"`   // 0 = derive from machine kind
+	IQEx    int     `json:"iqex,omitempty"`    // 0 = derive from machine kind
+	Load    string  `json:"load,omitempty"`    // reissue|refetch|stall
+	MemDep  string  `json:"memdep,omitempty"`  // storewait|blind|conservative
+	Seed    int64   `json:"seed,omitempty"`    // 0 = 1
+	Warmup  *uint64 `json:"warmup,omitempty"`  // nil = machine default
+	Inst    uint64  `json:"inst,omitempty"`    // measured instructions; 0 = machine default
+
+	// Figure jobs.
+	Figure string `json:"figure,omitempty"` // 4|5|6|8|9
+	Quick  bool   `json:"quick,omitempty"`  // short runs (experiments.QuickOptions)
+
+	// Job control.
+	CycleBudget int64 `json:"cycle_budget,omitempty"` // abort after this many simulated cycles
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`   // abort after this much host time
+	NoCache     bool  `json:"no_cache,omitempty"`     // bypass the result cache
+	Events      bool  `json:"events,omitempty"`       // aggregate loop events into /metrics
+}
+
+// config builds the pipeline configuration for a single-simulation spec.
+func (s JobSpec) config() (pipeline.Config, error) {
+	wl, err := workload.ByName(s.Bench)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	regRead := s.RegRead
+	if regRead == 0 {
+		regRead = 3
+	}
+	var cfg pipeline.Config
+	if s.DRA {
+		cfg = pipeline.DRAConfigRF(wl, regRead)
+	} else {
+		cfg = pipeline.BaseConfigRF(wl, regRead)
+	}
+	if s.DecIQ > 0 {
+		cfg.DecIQLat = s.DecIQ
+	}
+	if s.IQEx > 0 {
+		cfg.IQExLat = s.IQEx
+	}
+	switch s.Load {
+	case "", "reissue":
+		cfg.LoadPolicy = pipeline.LoadReissue
+	case "refetch":
+		cfg.LoadPolicy = pipeline.LoadRefetch
+	case "stall":
+		cfg.LoadPolicy = pipeline.LoadStall
+	default:
+		return pipeline.Config{}, fmt.Errorf("serve: unknown load policy %q", s.Load)
+	}
+	switch s.MemDep {
+	case "", "storewait":
+		cfg.MemDep = pipeline.MemDepStoreWait
+	case "blind":
+		cfg.MemDep = pipeline.MemDepBlind
+	case "conservative":
+		cfg.MemDep = pipeline.MemDepConservative
+	default:
+		return pipeline.Config{}, fmt.Errorf("serve: unknown memdep policy %q", s.MemDep)
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.Warmup != nil {
+		cfg.WarmupInstructions = *s.Warmup
+	}
+	if s.Inst != 0 {
+		cfg.MeasureInstructions = s.Inst
+	}
+	cfg.CycleBudget = s.CycleBudget
+	return cfg, nil
+}
+
+// figure maps a spec's figure name to its experiment.
+func figure(name string) func(experiments.Options) (*experiments.Table, error) {
+	switch name {
+	case "4":
+		return experiments.Fig4
+	case "5":
+		return experiments.Fig5
+	case "6":
+		return experiments.Fig6
+	case "8":
+		return experiments.Fig8
+	case "9":
+		return experiments.Fig9
+	}
+	return nil
+}
+
+// Job is one accepted submission and its lifecycle. All exported methods
+// are safe for concurrent use.
+type Job struct {
+	id   string
+	spec JobSpec
+	key  string // content address; single-simulation jobs only
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   JobState
+	cached  bool
+	errMsg  string
+	result  *pipeline.Result
+	table   *experiments.Table
+	hostSec float64
+	kips    float64
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative abort. A queued job is discarded when a
+// worker reaches it; a running job's machine stops within a few thousand
+// simulated cycles. Cancelling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Status is the JSON snapshot of a job.
+type Status struct {
+	ID          string             `json:"id"`
+	State       JobState           `json:"state"`
+	Key         string             `json:"key,omitempty"`
+	Cached      bool               `json:"cached,omitempty"`
+	Error       string             `json:"error,omitempty"`
+	HostSeconds float64            `json:"host_seconds,omitempty"`
+	KIPS        float64            `json:"kips,omitempty"`
+	Result      *pipeline.Result   `json:"result,omitempty"`
+	Table       *experiments.Table `json:"table,omitempty"`
+}
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:          j.id,
+		State:       j.state,
+		Key:         j.key,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		HostSeconds: j.hostSec,
+		KIPS:        j.kips,
+		Result:      j.result,
+		Table:       j.table,
+	}
+}
+
+// setRunning marks the job picked up by a worker.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and releases waiters.
+func (j *Job) finish(state JobState, err error) {
+	j.mu.Lock()
+	j.state = state
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Server owns the worker pool, the job registry, the result cache, and the
+// aggregate metrics. Create with New; stop with Drain or Close.
+type Server struct {
+	opts  Options
+	store Store
+
+	ctx       context.Context // base context; cancelled to force-abort everything
+	cancelAll context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order (detmap: no map iteration)
+	nextID   int
+	draining bool
+
+	queued  atomic.Int64
+	running atomic.Int64
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+
+	cstats CacheStats
+
+	// Aggregate observability, fed by finished jobs (KIPS) and by
+	// events-enabled jobs' sinks (loop delays).
+	obsMu    sync.Mutex
+	kipsHist *stats.Histogram
+	kipsSum  float64
+	kipsN    uint64
+	lastKIPS float64
+	delays   *obs.LoopDelays
+}
+
+// kipsHistBound caps the per-job KIPS histogram (unit-width buckets); jobs
+// faster than this land in the overflow bucket, which Quantile handles.
+const kipsHistBound = 1 << 14
+
+// New starts a server: the worker pool is live on return.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		store:     opts.Store,
+		ctx:       ctx,
+		cancelAll: cancel,
+		queue:     make(chan *Job, opts.QueueDepth),
+		jobs:      make(map[string]*Job),
+		kipsHist:  stats.NewHistogram(kipsHistBound),
+		delays:    obs.NewLoopDelays(0),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. Single-simulation jobs that hit the
+// cache complete immediately without occupying a worker.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if (spec.Bench == "") == (spec.Figure == "") {
+		return nil, errors.New("serve: a job needs exactly one of bench or figure")
+	}
+	var key string
+	if spec.Bench != "" {
+		cfg, err := spec.config()
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		key, err = ConfigKey(cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if figure(spec.Figure) == nil {
+		return nil, fmt.Errorf("serve: unknown figure %q", spec.Figure)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := &Job{
+		id:    "job-" + strconv.Itoa(s.nextID),
+		spec:  spec,
+		key:   key,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+	if spec.TimeoutMS > 0 {
+		job.ctx, job.cancel = context.WithTimeout(s.ctx, time.Duration(spec.TimeoutMS)*time.Millisecond)
+	} else {
+		job.ctx, job.cancel = context.WithCancel(s.ctx)
+	}
+
+	// Cache fast path: a hit needs no worker, no queue slot, and no
+	// construction — the whole point of content addressing.
+	if spec.Bench != "" && !spec.NoCache {
+		if res, ok, err := s.store.Get(key); err == nil && ok {
+			s.jobs[job.id] = job
+			s.order = append(s.order, job.id)
+			s.mu.Unlock()
+			s.cstats.hits.Add(1)
+			s.submitted.Add(1)
+			s.completed.Add(1)
+			job.mu.Lock()
+			job.cached = true
+			job.result = res
+			job.mu.Unlock()
+			job.cancel()
+			job.finish(StateDone, nil)
+			return job, nil
+		}
+	}
+
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		s.mu.Unlock()
+		s.queued.Add(1)
+		s.submitted.Add(1)
+		return job, nil
+	default:
+		s.mu.Unlock()
+		job.cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns status snapshots for every job, in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// worker drains the queue. One machine is live per worker at a time, so
+// the pool's peak memory is Options.Workers machines regardless of how
+// deep the queue gets.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.queued.Add(-1)
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job end to end, including metrics.
+func (s *Server) runJob(job *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	defer job.cancel() // releases the timeout timer, if any
+
+	job.setRunning()
+	var start time.Time
+	if s.opts.Now != nil {
+		start = s.opts.Now()
+	}
+	var retired uint64
+	if job.spec.Bench != "" {
+		retired = s.runSim(job)
+	} else {
+		retired = s.runFigure(job)
+	}
+	if s.opts.Now == nil {
+		return
+	}
+	sec := s.opts.Now().Sub(start).Seconds()
+	kips := 0.0
+	if sec > 0 && retired > 0 {
+		kips = float64(retired) / sec / 1000
+	}
+	job.mu.Lock()
+	job.hostSec = sec
+	job.kips = kips
+	job.mu.Unlock()
+	if kips > 0 {
+		s.obsMu.Lock()
+		s.kipsHist.Add(int(kips))
+		s.kipsSum += kips
+		s.kipsN++
+		s.lastKIPS = kips
+		s.obsMu.Unlock()
+	}
+}
+
+// runSim executes a single-simulation job and returns the retired
+// instruction count (0 when the job did not complete).
+func (s *Server) runSim(job *Job) uint64 {
+	if err := job.ctx.Err(); err != nil {
+		job.finish(StateCancelled, err)
+		s.cancelled.Add(1)
+		return 0
+	}
+	cfg, err := job.spec.config() // validated at submit; rebuilt here, it's cheap
+	if err != nil {
+		job.finish(StateFailed, err)
+		s.failed.Add(1)
+		return 0
+	}
+	if !job.spec.NoCache {
+		if res, ok, err := s.store.Get(job.key); err == nil && ok {
+			s.cstats.hits.Add(1)
+			job.mu.Lock()
+			job.cached = true
+			job.result = res
+			job.mu.Unlock()
+			job.finish(StateDone, nil)
+			s.completed.Add(1)
+			return 0 // no simulation ran; keep KIPS honest
+		}
+		s.cstats.misses.Add(1)
+	}
+	if job.spec.Events {
+		cfg.Events = &jobEventSink{server: s}
+	}
+	m, err := pipeline.New(cfg)
+	if err != nil {
+		job.finish(StateFailed, err)
+		s.failed.Add(1)
+		return 0
+	}
+	res, err := m.RunContext(job.ctx)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.finish(StateCancelled, err)
+		s.cancelled.Add(1)
+		return 0
+	default: // ErrCycleBudget and anything else the pipeline reports
+		job.finish(StateFailed, err)
+		s.failed.Add(1)
+		return 0
+	}
+	if !job.spec.NoCache {
+		if err := s.store.Put(job.key, res); err != nil {
+			s.cstats.putErrors.Add(1)
+		}
+	}
+	job.mu.Lock()
+	job.result = res
+	job.mu.Unlock()
+	job.finish(StateDone, nil)
+	s.completed.Add(1)
+	return res.TotalRetired
+}
+
+// runFigure regenerates one paper figure through the cache and returns the
+// total retired instructions across its cache-missing simulations.
+func (s *Server) runFigure(job *Job) uint64 {
+	if err := job.ctx.Err(); err != nil {
+		job.finish(StateCancelled, err)
+		s.cancelled.Add(1)
+		return 0
+	}
+	fig := figure(job.spec.Figure)
+	opt := experiments.DefaultOptions()
+	if job.spec.Quick {
+		opt = experiments.QuickOptions()
+	}
+	var retired atomic.Uint64
+	store := s.store
+	if job.spec.NoCache {
+		store = nil
+	}
+	opt.Runner = func(cfgs []pipeline.Config) ([]*pipeline.Result, error) {
+		results, err := RunAllCached(job.ctx, store, &s.cstats, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			retired.Add(r.TotalRetired)
+		}
+		return results, nil
+	}
+	table, err := fig(opt)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.finish(StateCancelled, err)
+		s.cancelled.Add(1)
+		return 0
+	default:
+		job.finish(StateFailed, err)
+		s.failed.Add(1)
+		return 0
+	}
+	job.mu.Lock()
+	job.table = table
+	job.mu.Unlock()
+	job.finish(StateDone, nil)
+	s.completed.Add(1)
+	return retired.Load()
+}
+
+// jobEventSink fans one running job's loop events into the server-wide
+// aggregate. Event is the serve layer's only per-cycle-path code — it runs
+// once per loose-loop traversal of every events-enabled job — so it stays
+// allocation-free (it is a simlint hot-path root): one mutex and two
+// histogram updates.
+type jobEventSink struct {
+	server *Server
+}
+
+// Event implements obs.EventSink.
+func (k *jobEventSink) Event(e obs.Event) {
+	s := k.server
+	s.obsMu.Lock()
+	s.delays.Event(e)
+	s.obsMu.Unlock()
+}
+
+// Drain stops accepting submissions, lets the workers finish every queued
+// job, and returns once the pool is idle. If ctx expires first, running
+// simulations are cancelled cooperatively and Drain still waits for the
+// workers to observe it before returning ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.beginDrain()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Close is Drain with no grace: everything in flight is cancelled and
+// Close returns once the workers exit. Queued jobs are marked cancelled.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+// beginDrain flips the server into draining mode exactly once.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	Draining   bool  `json:"draining"`
+
+	Jobs struct {
+		Submitted uint64 `json:"submitted"`
+		Completed uint64 `json:"completed"`
+		Failed    uint64 `json:"failed"`
+		Cancelled uint64 `json:"cancelled"`
+	} `json:"jobs"`
+
+	Cache struct {
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		PutErrors uint64  `json:"put_errors"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"cache"`
+
+	// KIPS is per-job simulation throughput (thousands of simulated
+	// instructions retired per host second); all zero when the server
+	// has no clock (Options.Now nil).
+	KIPS struct {
+		Jobs uint64  `json:"jobs"`
+		Last float64 `json:"last"`
+		Mean float64 `json:"mean"`
+		P50  int     `json:"p50"`
+		P99  int     `json:"p99"`
+	} `json:"kips"`
+
+	// Loops aggregates loop-event delays across events-enabled jobs.
+	Loops []LoopMetric `json:"loops,omitempty"`
+}
+
+// LoopMetric is one loose loop's aggregate delay summary.
+type LoopMetric struct {
+	Loop       string  `json:"loop"`
+	Events     uint64  `json:"events"`
+	MeanDelay  float64 `json:"mean_delay"`
+	P99Delay   int     `json:"p99_delay"`
+	CyclesLost uint64  `json:"cycles_lost"`
+}
+
+// Metrics snapshots the server's aggregate state.
+func (s *Server) Metrics() Metrics {
+	var m Metrics
+	m.Workers = s.opts.Workers
+	m.QueueDepth = s.queued.Load()
+	m.Running = s.running.Load()
+	s.mu.Lock()
+	m.Draining = s.draining
+	s.mu.Unlock()
+	m.Jobs.Submitted = s.submitted.Load()
+	m.Jobs.Completed = s.completed.Load()
+	m.Jobs.Failed = s.failed.Load()
+	m.Jobs.Cancelled = s.cancelled.Load()
+	m.Cache.Hits = s.cstats.Hits()
+	m.Cache.Misses = s.cstats.Misses()
+	m.Cache.PutErrors = s.cstats.PutErrors()
+	m.Cache.HitRate = s.cstats.HitRate()
+	s.obsMu.Lock()
+	m.KIPS.Jobs = s.kipsN
+	m.KIPS.Last = s.lastKIPS
+	if s.kipsN > 0 {
+		m.KIPS.Mean = s.kipsSum / float64(s.kipsN)
+	}
+	m.KIPS.P50 = s.kipsHist.Quantile(0.5)
+	m.KIPS.P99 = s.kipsHist.Quantile(0.99)
+	for k := obs.EventKind(0); k < obs.NumEventKinds; k++ {
+		n := s.delays.Count(k)
+		if n == 0 {
+			continue
+		}
+		m.Loops = append(m.Loops, LoopMetric{
+			Loop:       k.String(),
+			Events:     n,
+			MeanDelay:  s.delays.MeanDelay(k),
+			P99Delay:   s.delays.P99(k),
+			CyclesLost: s.delays.CyclesLost(k),
+		})
+	}
+	s.obsMu.Unlock()
+	return m
+}

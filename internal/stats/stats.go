@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -103,42 +104,40 @@ func (h *Histogram) Fraction(v int) float64 {
 	return float64(cum) / float64(h.count)
 }
 
-// Percentile returns the smallest value v such that F(v) >= p, for
-// p in (0,1]. Overflowed distributions may return the bound.
-func (h *Histogram) Percentile(p float64) int {
-	if h.count == 0 {
-		return 0
-	}
-	need := uint64(math.Ceil(p * float64(h.count)))
-	if need == 0 {
-		need = 1
-	}
-	var cum uint64
-	for i, b := range h.buckets {
-		cum += b
-		if cum >= need {
-			return i
-		}
-	}
-	return len(h.buckets)
-}
+// Percentile returns the smallest recorded sample value v with F(v) >= p.
+// It is Quantile under its historical name; the two used to disagree —
+// Percentile left p > 1 and NaN unclamped (uint64(NaN) is
+// platform-defined) and reported the histogram bound, not Max(), when the
+// rank landed in the overflow bucket. Both now share Quantile's
+// definition.
+func (h *Histogram) Percentile(p float64) int { return h.Quantile(p) }
 
 // Quantile returns the smallest recorded sample value v with F(v) >= q.
-// It differs from Percentile in its overflow behaviour: a quantile landing
-// in the overflow bucket reports Max(), the largest sample actually
-// recorded, rather than the histogram bound — so p99 of a heavy-tailed
-// delay distribution stays meaningful even when the tail outruns the
-// buckets. q is clamped to (0, 1]; with no samples it returns 0.
+// q is clamped to (0, 1]: q <= 0 and NaN mean rank 1, q > 1 (including
+// +Inf) means rank count. A quantile landing in the overflow bucket
+// reports Max(), the largest sample actually recorded, rather than the
+// histogram bound — so p99 of a heavy-tailed delay distribution stays
+// meaningful even when the tail outruns the buckets. With no samples it
+// returns 0.
 func (h *Histogram) Quantile(q float64) int {
 	if h.count == 0 {
 		return 0
 	}
-	if q > 1 {
-		q = 1
-	}
-	need := uint64(math.Ceil(q * float64(h.count)))
-	if need == 0 {
-		need = 1
+	// need is the 1-based rank of the sample being asked for. The clamp
+	// handles NaN via the negated comparisons: NaN fails both q > 1 and
+	// q > 0, landing on rank 1.
+	need := uint64(1)
+	switch {
+	case q > 1:
+		need = h.count
+	case q > 0:
+		need = uint64(math.Ceil(q * float64(h.count)))
+		if need == 0 {
+			need = 1
+		}
+		if need > h.count {
+			need = h.count
+		}
 	}
 	var cum uint64
 	for i, b := range h.buckets {
@@ -148,6 +147,58 @@ func (h *Histogram) Quantile(q float64) int {
 		}
 	}
 	return h.max
+}
+
+// histogramJSON is a Histogram's wire form: trailing zero buckets are
+// trimmed on encode and restored on decode, with Bound preserving the
+// configured bucket range so a round trip is lossless.
+type histogramJSON struct {
+	Bound    int      `json:"bound"`
+	Buckets  []uint64 `json:"buckets"`
+	Overflow uint64   `json:"overflow,omitempty"`
+	Count    uint64   `json:"count"`
+	Sum      uint64   `json:"sum"`
+	Max      int      `json:"max"`
+}
+
+// MarshalJSON encodes the full histogram state; it exists so results that
+// embed a Histogram (pipeline.Result.OperandGap) survive a JSON round
+// trip, which the serve layer's content-addressed result cache relies on.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	buckets := h.buckets
+	for len(buckets) > 0 && buckets[len(buckets)-1] == 0 {
+		buckets = buckets[:len(buckets)-1]
+	}
+	return json.Marshal(histogramJSON{
+		Bound:    len(h.buckets),
+		Buckets:  buckets,
+		Overflow: h.overflow,
+		Count:    h.count,
+		Sum:      h.sum,
+		Max:      h.max,
+	})
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	bound := w.Bound
+	if bound < len(w.Buckets) {
+		bound = len(w.Buckets)
+	}
+	if bound < 1 {
+		bound = 1
+	}
+	h.buckets = make([]uint64, bound)
+	copy(h.buckets, w.Buckets)
+	h.overflow = w.Overflow
+	h.count = w.Count
+	h.sum = w.Sum
+	h.max = w.Max
+	return nil
 }
 
 // String renders a compact summary.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -117,14 +118,79 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
-func TestPercentileEmptyAndOverflow(t *testing.T) {
-	if NewHistogram(4).Percentile(0.5) != 0 {
-		t.Error("empty percentile must be 0")
+// TestPercentileQuantileUnified locks the shared contract table-driven
+// across both names: clamping of p <= 0, p > 1, NaN and infinities, and
+// overflow reporting Max() rather than the histogram bound.
+func TestPercentileQuantileUnified(t *testing.T) {
+	uniform := NewHistogram(100) // values 0..99 once each
+	for i := 0; i < 100; i++ {
+		uniform.Add(i)
 	}
-	h := NewHistogram(2)
-	h.Add(10)
-	if got := h.Percentile(0.9); got != 2 {
-		t.Errorf("all-overflow percentile = %d, want bound 2", got)
+	overflowed := NewHistogram(4) // half the mass beyond the bound
+	for _, v := range []int{1, 2, 100, 200} {
+		overflowed.Add(v)
+	}
+	allOver := NewHistogram(2)
+	allOver.Add(10)
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want int
+	}{
+		{"empty", NewHistogram(4), 0.5, 0},
+		{"uniform p50", uniform, 0.5, 49},
+		{"uniform p100", uniform, 1.0, 99},
+		{"uniform p1", uniform, 0.01, 0},
+		{"clamp p=0 to rank 1", uniform, 0, 0},
+		{"clamp negative to rank 1", uniform, -3, 0},
+		{"clamp p>1 to rank count", uniform, 7, 99},
+		{"clamp +Inf to rank count", uniform, math.Inf(1), 99},
+		{"clamp -Inf to rank 1", uniform, math.Inf(-1), 0},
+		{"NaN means rank 1", uniform, math.NaN(), 0},
+		{"overflow tail reports Max", overflowed, 0.99, 200},
+		{"below-bound mass unaffected", overflowed, 0.5, 2},
+		{"all-overflow reports Max", allOver, 0.9, 10},
+		{"all-overflow p>1 reports Max", allOver, 2, 10},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+		if got := tc.h.Quantile(tc.p); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 1, 1, 3, 20, -5} {
+		h.Add(v)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Count() != h.Count() || got.Mean() != h.Mean() || got.Max() != h.Max() ||
+		got.Overflow() != h.Overflow() {
+		t.Fatalf("round trip lost state: %v vs %v", &got, h)
+	}
+	for v := 0; v < 8; v++ {
+		if got.Bucket(v) != h.Bucket(v) {
+			t.Errorf("bucket %d = %d, want %d", v, got.Bucket(v), h.Bucket(v))
+		}
+	}
+	// Bound survives trailing-zero trimming: a value past the original
+	// data but inside the bound must still bucket, not overflow.
+	got.Add(7)
+	if got.Overflow() != h.Overflow() {
+		t.Error("bound not restored: in-range Add overflowed")
 	}
 }
 
@@ -155,7 +221,8 @@ func TestQuantileEmpty(t *testing.T) {
 
 func TestQuantileOverflow(t *testing.T) {
 	// Quantiles landing in the overflow bucket report Max(), the largest
-	// recorded sample — not the histogram bound (Percentile's behaviour).
+	// recorded sample — not the histogram bound. Percentile shares the
+	// contract (TestPercentileQuantileUnified).
 	h := NewHistogram(4)
 	h.Add(1)
 	h.Add(2)
@@ -171,9 +238,6 @@ func TestQuantileOverflow(t *testing.T) {
 	all.Add(10)
 	if got := all.Quantile(0.9); got != 10 {
 		t.Errorf("all-overflow quantile = %d, want 10", got)
-	}
-	if got := all.Percentile(0.9); got != 2 {
-		t.Errorf("Percentile overflow contract changed: %d, want bound 2", got)
 	}
 }
 

@@ -17,10 +17,12 @@
 package loosesim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"loosesim/internal/obs"
 	"loosesim/internal/pipeline"
@@ -126,6 +128,10 @@ func NewIntervalCSV(w io.Writer) *obs.IntervalCSV { return obs.NewIntervalCSV(w)
 // TeeEvents fans an event stream out to several sinks.
 func TeeEvents(sinks ...EventSink) EventSink { return obs.Tee(sinks...) }
 
+// ErrCycleBudget is returned by RunContext when Config.CycleBudget expires
+// before the measurement window completes.
+var ErrCycleBudget = pipeline.ErrCycleBudget
+
 // Run executes one simulation to completion.
 func Run(cfg Config) (*Result, error) {
 	m, err := pipeline.New(cfg)
@@ -135,30 +141,79 @@ func Run(cfg Config) (*Result, error) {
 	return m.Run(), nil
 }
 
-// RunAll executes a batch of independent simulations, fanning out across
-// CPUs, and returns results in input order. The first configuration error
-// aborts the batch; simulations already running complete first.
+// RunContext executes one simulation under ctx: cancellation (or a
+// deadline) aborts the run with ctx.Err() within a few thousand simulated
+// cycles, and a positive Config.CycleBudget aborts it with ErrCycleBudget.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	m, err := pipeline.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunContext(ctx)
+}
+
+// runOne builds and runs a single batch entry. It is a variable so the
+// batch tests can wrap it to observe construction/teardown (e.g. to assert
+// the pool's peak live-machine count) without touching the pool itself.
+var runOne = func(ctx context.Context, cfg Config) (*Result, error) {
+	return RunContext(ctx, cfg)
+}
+
+// RunAll executes a batch of independent simulations on a bounded worker
+// pool and returns results in input order. Every configuration is
+// validated up front, so a bad config fails the batch before any
+// simulation starts; each Machine is constructed only when a worker picks
+// its config up, so peak memory and goroutine count are O(GOMAXPROCS)
+// regardless of batch size.
 func RunAll(cfgs []Config) ([]*Result, error) {
-	machines := make([]*pipeline.Machine, len(cfgs))
-	for i, cfg := range cfgs {
-		m, err := pipeline.New(cfg)
-		if err != nil {
+	return RunAllContext(context.Background(), cfgs)
+}
+
+// RunAllContext is RunAll under a context: cancelling ctx aborts running
+// simulations cooperatively and skips unstarted ones, and the batch
+// returns the first error in input order. A successful batch has every
+// result non-nil, in input order.
+func RunAllContext(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
 			return nil, fmt.Errorf("config %d: %w", i, err)
 		}
-		machines[i] = m
 	}
 	results := make([]*Result, len(cfgs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make([]error, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, m := range machines {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, m *pipeline.Machine) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = m.Run()
-		}(i, m)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("config %d: %w", i, err)
+					continue
+				}
+				res, err := runOne(ctx, cfgs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("config %d: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return results, nil
 }

@@ -1,0 +1,140 @@
+package loosesim
+
+// Internal tests for the RunAll worker pool: these wrap the runOne hook,
+// so they live in the package rather than loosesim_test.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// poolCfg returns a minimal-length config so a 1000-entry batch stays
+// cheap: construction dominates, which is exactly what the peak-machine
+// test wants to observe.
+func poolCfg(t *testing.T, bench string, seed int64, measure uint64) Config {
+	t.Helper()
+	cfg, err := DefaultMachine(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = seed
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = measure
+	return cfg
+}
+
+// TestRunAllPeakLiveMachines is the acceptance case for the spawn-then-
+// block bugfix: a 1000-config batch must never have more simulations in
+// flight — and therefore more machines live — than GOMAXPROCS, and the
+// pool must not leak goroutines. The old RunAll constructed all 1000
+// machines and 1000 goroutines up front.
+func TestRunAllPeakLiveMachines(t *testing.T) {
+	const batch = 1000
+	var live, peak, calls atomic.Int64
+	orig := runOne
+	runOne = func(ctx context.Context, cfg Config) (*Result, error) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer live.Add(-1)
+		calls.Add(1)
+		return orig(ctx, cfg)
+	}
+	defer func() { runOne = orig }()
+
+	baseline := runtime.NumGoroutine()
+	cfgs := make([]Config, batch)
+	for i := range cfgs {
+		cfgs[i] = poolCfg(t, "gcc", int64(i+1), 64)
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != batch {
+		t.Fatalf("ran %d configs, want %d", calls.Load(), batch)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+	}
+	if max := int64(runtime.GOMAXPROCS(0)); peak.Load() > max {
+		t.Fatalf("peak live machines = %d, want <= GOMAXPROCS (%d)", peak.Load(), max)
+	}
+	// The pool's goroutines must all have exited; allow slack for the
+	// runtime's own background goroutines coming and going.
+	if after := runtime.NumGoroutine(); after > baseline+3 {
+		t.Errorf("goroutines grew from %d to %d: pool leak", baseline, after)
+	}
+}
+
+// TestRunAllMatchesSerialRuns is the concurrent-vs-serial determinism
+// gate: a batch much larger than GOMAXPROCS must yield counters
+// byte-identical to running each config sequentially, in input order.
+// scripts/check.sh runs it under -race.
+func TestRunAllMatchesSerialRuns(t *testing.T) {
+	benches := []string{"gcc", "swim", "apsi-swim"}
+	var cfgs []Config
+	for _, b := range benches {
+		for v := 0; v < 8; v++ {
+			cfgs = append(cfgs, poolCfg(t, b, int64(v+1), 4000))
+		}
+	}
+	if len(cfgs) <= runtime.GOMAXPROCS(0) {
+		t.Logf("batch %d not larger than GOMAXPROCS %d", len(cfgs), runtime.GOMAXPROCS(0))
+	}
+	concurrent, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if concurrent[i].Counters != serial.Counters {
+			t.Errorf("config %d: concurrent counters diverge from serial:\n got %+v\nwant %+v",
+				i, concurrent[i].Counters, serial.Counters)
+		}
+		if concurrent[i].Benchmark != serial.Benchmark {
+			t.Errorf("config %d: result order broken: %s vs %s", i, concurrent[i].Benchmark, serial.Benchmark)
+		}
+	}
+}
+
+func TestRunAllContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{poolCfg(t, "gcc", 1, 1000), poolCfg(t, "gcc", 2, 1000)}
+	if _, err := RunAllContext(ctx, cfgs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllValidatesBeforeRunning(t *testing.T) {
+	var calls atomic.Int64
+	orig := runOne
+	runOne = func(ctx context.Context, cfg Config) (*Result, error) {
+		calls.Add(1)
+		return orig(ctx, cfg)
+	}
+	defer func() { runOne = orig }()
+
+	good := poolCfg(t, "gcc", 1, 1000)
+	bad := good
+	bad.FetchWidth = 0
+	if _, err := RunAll([]Config{good, bad}); err == nil {
+		t.Fatal("bad config must fail the batch")
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("fail-fast broken: %d simulations started before validation failed", calls.Load())
+	}
+}

@@ -29,4 +29,7 @@ go run ./cmd/loosim -bench apsi -dra -warmup 20000 -inst 60000 \
 	-intervals "$tmp/iv.csv" -events "$tmp/ev.jsonl" >/dev/null
 go run ./cmd/loopstat -events "$tmp/ev.jsonl" -intervals "$tmp/iv.csv" >/dev/null
 
+echo "==> serving smoke (loosimd -selfcheck: submit over HTTP, cache hit, metrics)"
+go run ./cmd/loosimd -selfcheck -cache "$tmp/cache" >/dev/null
+
 echo "All checks passed."
