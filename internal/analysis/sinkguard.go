@@ -30,7 +30,8 @@ func SinkGuard() *Analyzer {
 		Doc:  "requires sink emitters to nil-check their sink before building or delivering an event",
 		AppliesTo: func(pkgPath string) bool {
 			return strings.HasSuffix(pkgPath, "internal/pipeline") ||
-				strings.HasSuffix(pkgPath, "internal/serve")
+				strings.HasSuffix(pkgPath, "internal/serve") ||
+				strings.HasSuffix(pkgPath, "internal/dispatch")
 		},
 	}
 	a.Run = func(pass *Pass) {

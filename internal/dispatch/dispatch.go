@@ -1,0 +1,634 @@
+// Package dispatch is the sweep coordinator: it fans a batch of
+// simulation configurations out over a fleet of loosimd backends through
+// the serve HTTP JSON API and merges the results back in input order with
+// the same first-error-by-position semantics as loosesim.RunAllContext.
+//
+// Shard assignment is by the canonical content address of each
+// configuration (serve.ConfigKey), consistent-hashed across the backends,
+// so repeated sweeps send the same point to the same node and concentrate
+// that node's content-addressed cache hits. The coordinator survives an
+// unreliable fleet: bounded per-backend in-flight windows, capped
+// exponential backoff with injected-source jitter, hedged requests for
+// stragglers, health probing that ejects and readmits backends, and —
+// when a job exhausts the fleet or no backend is admitted at all —
+// graceful degradation to local simulation, so a sweep never fails merely
+// because its fleet did. Every result is the output of the same
+// deterministic pipeline regardless of where (or how many times) it ran,
+// which is what makes retries, hedges, and fallback safe.
+//
+// The package keeps the simulator's determinism contract: it never reads
+// the wall clock (timers are injected via Options.After) and never touches
+// the global math/rand state (jitter is injected via Options.Jitter, with
+// a seeded locked source as the default).
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loosesim"
+	"loosesim/internal/pipeline"
+	"loosesim/internal/serve"
+)
+
+// Defaults for the zero Options values.
+const (
+	DefaultInFlight      = 4
+	DefaultAttempts      = 4
+	DefaultBackoffBase   = 50 * time.Millisecond
+	DefaultBackoffCap    = 2 * time.Second
+	DefaultProbeInterval = time.Second
+	DefaultEjectAfter    = 3
+
+	// probeTimeout bounds one /healthz exchange.
+	probeTimeout = 2 * time.Second
+)
+
+// Options configure a Coordinator.
+type Options struct {
+	// Backends are the loosimd base URLs the sweep is sharded over. An
+	// empty list is legal: every batch degrades to local simulation.
+	Backends []string
+	// Client issues the HTTP requests; nil selects a fresh http.Client.
+	// Tests inject fault-wrapped transports here.
+	Client *http.Client
+	// InFlight bounds concurrent requests per backend; <= 0 selects
+	// DefaultInFlight.
+	InFlight int
+	// Attempts is the maximum submission attempts per job across the
+	// fleet before it degrades to local simulation; <= 0 selects
+	// DefaultAttempts.
+	Attempts int
+	// BackoffBase and BackoffCap shape the retry schedule: the delay
+	// before retry n is min(BackoffBase << n, BackoffCap), scaled by the
+	// jitter source. <= 0 selects the defaults.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeDelay, when positive, launches a duplicate request on a
+	// second backend if the primary has not answered within the delay;
+	// the first response wins and the loser is cancelled.
+	HedgeDelay time.Duration
+	// ProbeInterval is the period of the background /healthz sweep that
+	// ejects failing backends and readmits recovered ones; <= 0 selects
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// EjectAfter is the consecutive-failure count that ejects a backend
+	// from the ring; <= 0 selects DefaultEjectAfter.
+	EjectAfter int
+	// Jitter returns a value in [0, 1) used to decorrelate concurrent
+	// retry schedules; nil selects a seeded locked source. It must be
+	// safe for concurrent use.
+	Jitter func() float64
+	// After is the timer source for backoff, hedging, and probing; nil
+	// selects time.After. Tests inject a fake clock here.
+	After func(time.Duration) <-chan time.Time
+	// Events, when non-nil, receives one record per coordinator
+	// lifecycle event, on top of the always-on counters behind Metrics.
+	Events EventSink
+	// NoCache asks the backends to bypass their result caches.
+	NoCache bool
+	// Local, when non-nil, replaces loosesim.RunAllContext as the batch
+	// engine used when the whole fleet is unreachable at batch start. It
+	// must honour the same contract: results in input order, first error
+	// aborts.
+	Local func(context.Context, []pipeline.Config) ([]*pipeline.Result, error)
+}
+
+// backend is one fleet member's live state.
+type backend struct {
+	url string
+	sem chan struct{} // in-flight window
+
+	inFlight atomic.Int64
+	requests atomic.Uint64
+	failures atomic.Uint64
+	fails    atomic.Int32 // consecutive failures, reset on success
+	down     atomic.Bool
+}
+
+// Coordinator fans sweep batches out over the fleet. Create with New;
+// stop the background health probing with Close. All methods are safe for
+// concurrent use.
+type Coordinator struct {
+	opts   Options
+	client *http.Client
+	ring   *ring
+
+	backends []*backend
+	localSem chan struct{} // bounds machines live during local fallback
+
+	events EventSink
+	counts [NumEventKinds]atomic.Uint64
+
+	jitter func() float64
+	after  func(time.Duration) <-chan time.Time
+	local  func(context.Context, []pipeline.Config) ([]*pipeline.Result, error)
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New starts a coordinator; its health-probe loop is live on return when
+// the fleet is non-empty.
+func New(opts Options) (*Coordinator, error) {
+	if opts.InFlight <= 0 {
+		opts.InFlight = DefaultInFlight
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = DefaultAttempts
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = DefaultBackoffBase
+	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = DefaultBackoffCap
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	if opts.EjectAfter <= 0 {
+		opts.EjectAfter = DefaultEjectAfter
+	}
+	c := &Coordinator{
+		opts:     opts,
+		client:   opts.Client,
+		events:   opts.Events,
+		jitter:   opts.Jitter,
+		after:    opts.After,
+		local:    opts.Local,
+		localSem: make(chan struct{}, runtime.GOMAXPROCS(0)),
+		stop:     make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.jitter == nil {
+		c.jitter = defaultJitter()
+	}
+	if c.after == nil {
+		c.after = time.After
+	}
+	if c.local == nil {
+		c.local = loosesim.RunAllContext
+	}
+	urls := make([]string, len(opts.Backends))
+	for i, u := range opts.Backends {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("dispatch: backend %d: empty URL", i)
+		}
+		urls[i] = u
+	}
+	c.ring = newRing(urls)
+	c.backends = make([]*backend, len(urls))
+	for i, u := range urls {
+		c.backends[i] = &backend{url: u, sem: make(chan struct{}, opts.InFlight)}
+	}
+	if len(c.backends) > 0 {
+		c.wg.Add(1)
+		go c.probeLoop()
+	}
+	return c, nil
+}
+
+// Close stops the background health probing. In-flight RunAll calls are
+// unaffected (cancel their contexts to abort them).
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// defaultJitter returns the default jitter source: a seeded rand.Rand
+// behind a mutex. The seed is fixed — jitter decorrelates concurrent
+// retries within a run; it does not need to vary across runs, and a fixed
+// seed keeps the schedule reproducible under an injected clock.
+func defaultJitter() func() float64 {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(1))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}
+
+// backoff returns the delay before the retry that follows failed attempt
+// `attempt` (0-based): base << attempt capped at ceil, scaled into
+// [0.5, 1.0) of itself by the jitter value so concurrent retries spread
+// out without ever collapsing to zero.
+func backoff(attempt int, base, ceil time.Duration, jitter float64) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := ceil
+	if attempt < 40 { // beyond 40 doublings any sane base has saturated
+		if shifted := base << uint(attempt); shifted > 0 && shifted < ceil {
+			d = shifted
+		}
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*jitter))
+}
+
+// emit counts one lifecycle event and forwards it to the optional sink.
+// This is the coordinator's only per-event code (a simlint hot-path
+// root), so it stays allocation-free: one atomic add, one nil check.
+func (c *Coordinator) emit(kind EventKind, backendIdx int) {
+	c.counts[kind].Add(1)
+	if c.events == nil {
+		return
+	}
+	c.events.Event(Event{Kind: kind, Backend: backendIdx})
+}
+
+// Metrics snapshots the coordinator's counters.
+func (c *Coordinator) Metrics() Metrics {
+	var m Metrics
+	m.Requests = c.counts[EvRequest].Load()
+	m.CacheHits = c.counts[EvCacheHit].Load()
+	m.Retries = c.counts[EvRetry].Load()
+	m.Hedges = c.counts[EvHedge].Load()
+	m.HedgesWon = c.counts[EvHedgeWon].Load()
+	m.Ejections = c.counts[EvEject].Load()
+	m.Readmissions = c.counts[EvReadmit].Load()
+	m.LocalFallbacks = c.counts[EvLocalFallback].Load()
+	if m.Requests > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(m.Requests)
+	}
+	m.Backends = make([]BackendMetrics, len(c.backends))
+	for i, bk := range c.backends {
+		m.Backends[i] = BackendMetrics{
+			URL:      bk.url,
+			InFlight: bk.inFlight.Load(),
+			Requests: bk.requests.Load(),
+			Failures: bk.failures.Load(),
+			Down:     bk.down.Load(),
+		}
+	}
+	return m
+}
+
+// admitted reports whether backend b is currently on the ring.
+func (c *Coordinator) admitted(b int) bool { return !c.backends[b].down.Load() }
+
+// pick returns the admitted backend owning key, excluding the given index
+// (pass -1 to exclude nothing); -1 when no backend is admitted.
+func (c *Coordinator) pick(key string, exclude int) int {
+	return c.ring.owner(key, c.admitted, exclude)
+}
+
+// allDown reports whether no backend is admitted (trivially true for an
+// empty fleet).
+func (c *Coordinator) allDown() bool {
+	for _, bk := range c.backends {
+		if !bk.down.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// fail records a failed exchange with backend b — counting toward
+// ejection — and returns err.
+func (c *Coordinator) fail(b int, err error) error {
+	bk := c.backends[b]
+	bk.failures.Add(1)
+	if n := bk.fails.Add(1); int(n) >= c.opts.EjectAfter {
+		if bk.down.CompareAndSwap(false, true) {
+			c.emit(EvEject, b)
+		}
+	}
+	return err
+}
+
+// failOrCtx is fail unless our own context ended the exchange: a
+// cancelled request (hedge loser, caller gone) says nothing about the
+// backend's health and must not count toward ejection.
+func (c *Coordinator) failOrCtx(ctx context.Context, b int, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return c.fail(b, err)
+}
+
+// ok records a successful exchange with backend b, readmitting it if it
+// was ejected.
+func (c *Coordinator) ok(b int) {
+	bk := c.backends[b]
+	bk.fails.Store(0)
+	if bk.down.CompareAndSwap(true, false) {
+		c.emit(EvReadmit, b)
+	}
+}
+
+// RunAll executes the batch over the fleet and returns results in input
+// order; a successful batch has every result non-nil. The contract
+// matches loosesim.RunAllContext: every configuration is validated before
+// anything runs, and the batch reports the first error in input order.
+// Fleet trouble is not an error — jobs that exhaust the fleet degrade to
+// local simulation — so errors surface only from the simulations
+// themselves or from ctx.
+func (c *Coordinator) RunAll(ctx context.Context, cfgs []pipeline.Config) ([]*pipeline.Result, error) {
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+	}
+	if c.allDown() {
+		// The whole fleet is unreachable before anything started: one
+		// local batch run on the bounded pool, not per-job fallbacks.
+		c.emit(EvLocalFallback, -1)
+		return c.local(ctx, cfgs)
+	}
+	keys := make([]string, len(cfgs))
+	for i := range cfgs {
+		key, err := serve.ConfigKey(cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+		keys[i] = key
+	}
+	results := make([]*pipeline.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.runJob(ctx, keys[i], cfgs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("config %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Runner adapts the coordinator to experiments.Options.Runner, so a
+// figure regenerates through the fleet.
+func (c *Coordinator) Runner(ctx context.Context) func([]pipeline.Config) ([]*pipeline.Result, error) {
+	return func(cfgs []pipeline.Config) ([]*pipeline.Result, error) {
+		return c.RunAll(ctx, cfgs)
+	}
+}
+
+// simError is a job failure reported by a healthy backend: the simulation
+// itself failed (e.g. a cycle budget expired), so retrying elsewhere —
+// the pipeline being deterministic — would fail identically. It is
+// permanent.
+type simError struct{ msg string }
+
+func (e *simError) Error() string { return e.msg }
+
+// runJob drives one configuration to a result: shard lookup, bounded
+// submission with hedging, jittered backoff across attempts, and local
+// fallback once the fleet is out of options.
+func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Config) (*pipeline.Result, error) {
+	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b := c.pick(key, -1)
+		if b < 0 {
+			break // nobody admitted; degrade now rather than spin
+		}
+		res, err := c.tryOnce(ctx, b, key, cfg)
+		if err == nil {
+			return res, nil
+		}
+		var sim *simError
+		if errors.As(err, &sim) {
+			return nil, sim
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		c.emit(EvRetry, b)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.after(backoff(attempt, c.opts.BackoffBase, c.opts.BackoffCap, c.jitter())):
+		}
+	}
+	// Every attempt failed (or no backend is admitted): run the point
+	// locally. The result is bit-identical to a fleet run by the
+	// determinism contract, so the sweep's output does not depend on
+	// which path served it.
+	c.emit(EvLocalFallback, -1)
+	return c.runLocal(ctx, cfg)
+}
+
+// runLocal simulates one configuration on this host, bounded so a fleet
+// outage cannot construct more live machines than GOMAXPROCS.
+func (c *Coordinator) runLocal(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+	select {
+	case c.localSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.localSem }()
+	return loosesim.RunContext(ctx, cfg)
+}
+
+// tryOnce submits one attempt against the primary backend, hedging a
+// duplicate onto a second backend if the primary is still silent after
+// the hedge delay. The first response wins; the loser's request is
+// cancelled.
+func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg pipeline.Config) (*pipeline.Result, error) {
+	if c.opts.HedgeDelay <= 0 {
+		return c.post(ctx, primary, cfg)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res    *pipeline.Result
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2) // both goroutines can always deliver
+	go func() {
+		res, err := c.post(hctx, primary, cfg)
+		ch <- outcome{res: res, err: err}
+	}()
+	inFlight := 1
+	timer := c.after(c.opts.HedgeDelay)
+	var firstErr error
+	for {
+		select {
+		case <-timer:
+			timer = nil
+			s := c.pick(key, primary)
+			if s < 0 {
+				continue // nobody to hedge onto
+			}
+			c.emit(EvHedge, s)
+			inFlight++
+			go func() {
+				res, err := c.post(hctx, s, cfg)
+				ch <- outcome{res: res, err: err, hedged: true}
+			}()
+		case o := <-ch:
+			inFlight--
+			if o.err == nil {
+				if o.hedged {
+					c.emit(EvHedgeWon, -1)
+				}
+				return o.res, nil
+			}
+			var sim *simError
+			if errors.As(o.err, &sim) {
+				return nil, o.err // permanent: the duplicate would fail identically
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// post runs one request against backend b under its in-flight window and
+// maps the response to a result, a permanent simError, or a transient
+// (counted) backend failure.
+func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config) (*pipeline.Result, error) {
+	bk := c.backends[b]
+	select {
+	case bk.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-bk.sem }()
+	bk.inFlight.Add(1)
+	defer bk.inFlight.Add(-1)
+	bk.requests.Add(1)
+	c.emit(EvRequest, b)
+
+	body, err := json.Marshal(serve.JobSpec{Config: &cfg, NoCache: c.opts.NoCache})
+	if err != nil {
+		return nil, err // not a backend fault; do not count it
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, bk.url+"/api/v1/jobs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, c.failOrCtx(ctx, b, err)
+	}
+	st, err := decodeStatus(resp)
+	if err != nil {
+		return nil, c.failOrCtx(ctx, b, err)
+	}
+	switch st.State {
+	case serve.StateDone:
+		if st.Result == nil {
+			return nil, c.failOrCtx(ctx, b, fmt.Errorf("dispatch: backend %s: done with no result", bk.url))
+		}
+		c.ok(b)
+		if st.Cached {
+			c.emit(EvCacheHit, b)
+		}
+		return st.Result, nil
+	case serve.StateFailed:
+		c.ok(b) // the backend is healthy; the simulation failed
+		return nil, &simError{msg: st.Error}
+	default:
+		// Cancelled (a draining backend) or an unexpected state: try
+		// elsewhere.
+		return nil, c.failOrCtx(ctx, b, fmt.Errorf("dispatch: backend %s: job state %q: %s", bk.url, st.State, st.Error))
+	}
+}
+
+// decodeStatus reads and closes one submission response. A truncated or
+// malformed body is an error — the caller treats it as a transient
+// backend failure.
+func decodeStatus(resp *http.Response) (serve.Status, error) {
+	var st serve.Status
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return st, fmt.Errorf("dispatch: backend status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("dispatch: decoding backend response: %w", err)
+	}
+	return st, nil
+}
+
+// probeLoop sweeps /healthz on the period configured by ProbeInterval
+// until Close.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.after(c.opts.ProbeInterval):
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll checks every backend once: a 200 readmits (and resets the
+// failure streak); anything else counts toward ejection.
+func (c *Coordinator) probeAll() {
+	for i := range c.backends {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		c.probe(i)
+	}
+}
+
+// probe runs one bounded /healthz exchange against backend b.
+func (c *Coordinator) probe(b int) {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.backends[b].url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		_ = c.fail(b, err) // a probe timeout is a real failure, unlike a cancelled job request
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if cerr := resp.Body.Close(); cerr != nil {
+		_ = c.fail(b, cerr)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = c.fail(b, fmt.Errorf("dispatch: healthz status %d", resp.StatusCode))
+		return
+	}
+	c.ok(b)
+}

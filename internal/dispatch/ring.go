@@ -1,0 +1,77 @@
+package dispatch
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the number of virtual nodes per backend on the hash ring.
+// 64 points per backend keeps the expected key share within a few percent
+// of uniform for small fleets while keeping the ring tiny.
+const ringVnodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring and the
+// backend that owns it.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// ring is a consistent-hash ring over the configured backends. Membership
+// changes (ejection, readmission) are expressed at lookup time through the
+// admitted predicate rather than by rebuilding the ring, which is what
+// gives the stability property the sweep cache depends on: ejecting a
+// backend moves only the keys that backend owned (each slides forward to
+// its next admitted point), and readmitting it restores exactly the
+// original assignment.
+type ring struct {
+	points []ringPoint
+}
+
+// newRing builds the ring for a fixed backend list. The point positions
+// depend only on the backend URLs, so the same fleet always shards the
+// same way across processes and runs.
+func newRing(backends []string) *ring {
+	pts := make([]ringPoint, 0, len(backends)*ringVnodes)
+	for i, url := range backends {
+		for v := 0; v < ringVnodes; v++ {
+			pts = append(pts, ringPoint{hash: hash64(url + "#" + strconv.Itoa(v)), backend: i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].hash != pts[b].hash {
+			return pts[a].hash < pts[b].hash
+		}
+		return pts[a].backend < pts[b].backend
+	})
+	return &ring{points: pts}
+}
+
+// owner returns the backend owning key: the first point clockwise from
+// hash(key) whose backend is admitted and not the excluded index (pass
+// exclude < 0 to exclude nothing — hedged requests use it to find a
+// distinct secondary). Returns -1 when no backend qualifies.
+func (r *ring) owner(key string, admitted func(int) bool, exclude int) int {
+	n := len(r.points)
+	if n == 0 {
+		return -1
+	}
+	h := hash64(key)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for k := 0; k < n; k++ {
+		b := r.points[(start+k)%n].backend
+		if b != exclude && admitted(b) {
+			return b
+		}
+	}
+	return -1
+}
+
+// hash64 is the ring's position function (FNV-1a, stable across runs and
+// platforms).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -71,8 +71,8 @@ var (
 )
 
 // JobSpec is the JSON body of a submission: exactly one of Bench (a single
-// simulation) or Figure (a whole paper figure regenerated through the
-// cache) must be set.
+// simulation), Figure (a whole paper figure regenerated through the
+// cache), or Config (a complete raw configuration) must be set.
 type JobSpec struct {
 	// Single-simulation jobs. Zero values select the paper's base
 	// machine defaults, mirroring cmd/loosim's flags.
@@ -91,6 +91,13 @@ type JobSpec struct {
 	Figure string `json:"figure,omitempty"` // 4|5|6|8|9
 	Quick  bool   `json:"quick,omitempty"`  // short runs (experiments.QuickOptions)
 
+	// Raw-config jobs: a complete pipeline.Config, the wire format the
+	// sweep coordinator (internal/dispatch) uses to ship arbitrary sweep
+	// points without squeezing them through the named-bench defaulting
+	// above. The server zeroes the config's observability hooks — probes
+	// are not expressible over the wire — and runs it as-is.
+	Config *pipeline.Config `json:"config,omitempty"`
+
 	// Job control.
 	CycleBudget int64 `json:"cycle_budget,omitempty"` // abort after this many simulated cycles
 	TimeoutMS   int64 `json:"timeout_ms,omitempty"`   // abort after this much host time
@@ -98,8 +105,22 @@ type JobSpec struct {
 	Events      bool  `json:"events,omitempty"`       // aggregate loop events into /metrics
 }
 
-// config builds the pipeline configuration for a single-simulation spec.
+// config builds the pipeline configuration for a single-simulation spec
+// (a named bench or a raw config).
 func (s JobSpec) config() (pipeline.Config, error) {
+	if s.Config != nil {
+		cfg := *s.Config
+		// The sink interfaces decode to nil anyway, and a decoded Tracer
+		// would have nowhere to write; drop every hook so a wire config
+		// is always a pure simulation (and hashes like one).
+		cfg.Tracer = nil
+		cfg.Events = nil
+		cfg.Intervals = nil
+		if s.CycleBudget > 0 {
+			cfg.CycleBudget = s.CycleBudget
+		}
+		return cfg, nil
+	}
 	wl, err := workload.ByName(s.Bench)
 	if err != nil {
 		return pipeline.Config{}, err
@@ -176,6 +197,7 @@ type Job struct {
 	id   string
 	spec JobSpec
 	key  string // content address; single-simulation jobs only
+	srv  *Server
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -197,10 +219,32 @@ func (j *Job) ID() string { return j.id }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Cancel requests cooperative abort. A queued job is discarded when a
-// worker reaches it; a running job's machine stops within a few thousand
-// simulated cycles. Cancelling a finished job is a no-op.
-func (j *Job) Cancel() { j.cancel() }
+// Cancel requests cooperative abort. A job that is still queued is
+// finalized immediately — its state becomes cancelled and Done closes
+// without waiting for a worker to reach it, so a client that drops while
+// its job sits behind a long queue (the disconnect-while-queued case)
+// observes the cancellation right away. A running job's machine stops
+// within a few thousand simulated cycles. Cancelling a finished job is a
+// no-op.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.finishQueued()
+}
+
+// finishQueued moves a still-queued job straight to cancelled; the worker
+// that eventually dequeues it sees the terminal state and skips it.
+func (j *Job) finishQueued() {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateCancelled
+	j.errMsg = context.Canceled.Error()
+	j.mu.Unlock()
+	j.srv.cancelled.Add(1)
+	close(j.done)
+}
 
 // Status is the JSON snapshot of a job.
 type Status struct {
@@ -232,16 +276,30 @@ func (j *Job) Status() Status {
 	}
 }
 
-// setRunning marks the job picked up by a worker.
-func (j *Job) setRunning() {
+// setRunning marks the job picked up by a worker; it reports false when
+// the job already reached a terminal state (cancelled while queued), in
+// which case the worker must skip it.
+func (j *Job) setRunning() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
 	j.state = StateRunning
-	j.mu.Unlock()
+	return true
 }
 
-// finish moves the job to a terminal state and releases waiters.
+// finish moves the job to a terminal state and releases waiters. A job
+// that is already terminal (finalized by Cancel while queued) is left
+// untouched.
 func (j *Job) finish(state JobState, err error) {
 	j.mu.Lock()
+	switch j.state {
+	case StateDone, StateFailed, StateCancelled:
+		j.mu.Unlock()
+		return
+	case StateQueued, StateRunning:
+	}
 	j.state = state
 	if err != nil {
 		j.errMsg = err.Error()
@@ -324,11 +382,25 @@ func New(opts Options) *Server {
 // Submit validates and enqueues a job. Single-simulation jobs that hit the
 // cache complete immediately without occupying a worker.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
-	if (spec.Bench == "") == (spec.Figure == "") {
-		return nil, errors.New("serve: a job needs exactly one of bench or figure")
+	kinds := 0
+	if spec.Bench != "" {
+		kinds++
+	}
+	if spec.Figure != "" {
+		kinds++
+	}
+	if spec.Config != nil {
+		kinds++
+	}
+	if kinds != 1 {
+		return nil, errors.New("serve: a job needs exactly one of bench, figure, or config")
 	}
 	var key string
-	if spec.Bench != "" {
+	if spec.Figure != "" {
+		if figure(spec.Figure) == nil {
+			return nil, fmt.Errorf("serve: unknown figure %q", spec.Figure)
+		}
+	} else {
 		cfg, err := spec.config()
 		if err != nil {
 			return nil, err
@@ -340,8 +412,6 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		if err != nil {
 			return nil, err
 		}
-	} else if figure(spec.Figure) == nil {
-		return nil, fmt.Errorf("serve: unknown figure %q", spec.Figure)
 	}
 
 	s.mu.Lock()
@@ -354,6 +424,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		id:    "job-" + strconv.Itoa(s.nextID),
 		spec:  spec,
 		key:   key,
+		srv:   s,
 		state: StateQueued,
 		done:  make(chan struct{}),
 	}
@@ -365,7 +436,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 
 	// Cache fast path: a hit needs no worker, no queue slot, and no
 	// construction — the whole point of content addressing.
-	if spec.Bench != "" && !spec.NoCache {
+	if key != "" && !spec.NoCache {
 		if res, ok, err := s.store.Get(key); err == nil && ok {
 			s.jobs[job.id] = job
 			s.order = append(s.order, job.id)
@@ -440,16 +511,18 @@ func (s *Server) runJob(job *Job) {
 	defer s.running.Add(-1)
 	defer job.cancel() // releases the timeout timer, if any
 
-	job.setRunning()
+	if !job.setRunning() {
+		return // cancelled while queued; already finalized
+	}
 	var start time.Time
 	if s.opts.Now != nil {
 		start = s.opts.Now()
 	}
 	var retired uint64
-	if job.spec.Bench != "" {
-		retired = s.runSim(job)
-	} else {
+	if job.spec.Figure != "" {
 		retired = s.runFigure(job)
+	} else {
+		retired = s.runSim(job)
 	}
 	if s.opts.Now == nil {
 		return

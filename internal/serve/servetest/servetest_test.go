@@ -1,0 +1,144 @@
+package servetest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"loosesim/internal/serve"
+)
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	return client.Do(req)
+}
+
+func TestTripperFaults(t *testing.T) {
+	b := StartBackend(serve.Options{Workers: 1})
+	defer b.Close()
+
+	tr := &Tripper{}
+	client := &http.Client{Transport: tr}
+
+	// Pass (empty script): a real exchange.
+	resp, err := get(t, client, b.URL+"/healthz")
+	if err != nil {
+		t.Fatalf("pass-through: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pass-through status = %d, want 200", resp.StatusCode)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Status500: synthesized, never reaches the backend.
+	tr.Script(FaultSpec{Fault: Status500})
+	resp, err = get(t, client, b.URL+"/healthz")
+	if err != nil {
+		t.Fatalf("status500: %v", err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status500 status = %d, want 500", resp.StatusCode)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// DropConn: a transport-level failure.
+	tr.Script(FaultSpec{Fault: DropConn})
+	if _, err = get(t, client, b.URL+"/healthz"); !errors.Is(err, ErrDropped) {
+		t.Fatalf("dropconn err = %v, want ErrDropped", err)
+	}
+
+	// TruncateBody: 200 with an unparseable JSON fragment.
+	tr.Script(FaultSpec{Fault: TruncateBody})
+	resp, err = get(t, client, b.URL+"/metrics")
+	if err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("truncate read: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var m serve.Metrics
+	if jerr := json.Unmarshal(body, &m); jerr == nil {
+		t.Fatalf("truncated body still parsed: %q", body)
+	}
+
+	// Latency: delayed but successful.
+	tr.Script(FaultSpec{Fault: Latency, Delay: time.Millisecond})
+	resp, err = get(t, client, b.URL+"/healthz")
+	if err != nil {
+		t.Fatalf("latency: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("latency status = %d, want 200", resp.StatusCode)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Hang: blocks until the request context gives up.
+	tr.Script(FaultSpec{Fault: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	if _, err = client.Do(req); err == nil {
+		t.Fatal("hang: request succeeded, want context error")
+	}
+
+	if got := tr.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d, want 0", got)
+	}
+}
+
+func TestTripperMatchAimsFaults(t *testing.T) {
+	a := StartBackend(serve.Options{Workers: 1})
+	defer a.Close()
+	b := StartBackend(serve.Options{Workers: 1})
+	defer b.Close()
+
+	tr := &Tripper{Match: func(r *http.Request) bool { return r.URL.Host == mustHost(t, b.URL) }}
+	tr.Script(FaultSpec{Fault: DropConn})
+	client := &http.Client{Transport: tr}
+
+	// Backend a is unmatched: the script must not be consumed.
+	resp, err := get(t, client, a.URL+"/healthz")
+	if err != nil {
+		t.Fatalf("unmatched request: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := tr.Remaining(); got != 1 {
+		t.Fatalf("Remaining after unmatched = %d, want 1", got)
+	}
+
+	if _, err = get(t, client, b.URL+"/healthz"); !errors.Is(err, ErrDropped) {
+		t.Fatalf("matched err = %v, want ErrDropped", err)
+	}
+}
+
+func mustHost(t *testing.T, rawURL string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		t.Fatalf("parse %q: %v", rawURL, err)
+	}
+	return req.URL.Host
+}

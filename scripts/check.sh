@@ -32,4 +32,7 @@ go run ./cmd/loopstat -events "$tmp/ev.jsonl" -intervals "$tmp/iv.csv" >/dev/nul
 echo "==> serving smoke (loosimd -selfcheck: submit over HTTP, cache hit, metrics)"
 go run ./cmd/loosimd -selfcheck -cache "$tmp/cache" >/dev/null
 
+echo "==> sweep smoke (loosweep -selfcheck: coordinator + 2 loopback backends)"
+go run ./cmd/loosweep -selfcheck >/dev/null
+
 echo "All checks passed."
