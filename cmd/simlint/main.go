@@ -108,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := analysis.RunAnalyzers(loader, pkgs, analyzers)
+	relativize(diags, root)
 	if *baseline != "" {
 		known, err := loadBaseline(*baseline, root)
 		if err != nil {
@@ -144,6 +145,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// relativize rewrites absolute positions under the module root to
+// root-relative slash form, so text and -json output are stable across
+// checkouts and line up with the CI problem matcher's annotations.
+func relativize(diags []analysis.Diagnostic, root string) {
+	for i := range diags {
+		file := diags[i].Position
+		suffix := ""
+		for range [2]int{} { // peel :col then :line off the right
+			if j := strings.LastIndex(file, ":"); j >= 0 {
+				suffix = file[j:] + suffix
+				file = file[:j]
+			}
+		}
+		if !filepath.IsAbs(file) {
+			continue
+		}
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Position = filepath.ToSlash(rel) + suffix
+		}
+	}
 }
 
 // loadBaseline reads a -json findings file and returns the set of match

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
 	"loosesim/internal/analysis"
@@ -68,6 +70,9 @@ func TestRunJSONAndBaseline(t *testing.T) {
 		if d.Analyzer == "loopbound" {
 			found = true
 		}
+		if filepath.IsAbs(d.Position) {
+			t.Errorf("position %q is absolute; findings must be module-root-relative", d.Position)
+		}
 	}
 	if !found {
 		t.Fatalf("-json output lacks the planted loopbound finding: %s", out.String())
@@ -98,5 +103,36 @@ func TestRunJSONAndBaseline(t *testing.T) {
 	code = run([]string{"-baseline", basePath, "./..."}, &out, &errb)
 	if code != 1 {
 		t.Fatalf("run with empty baseline = exit %d; want 1", code)
+	}
+}
+
+// matcherRE mirrors .github/problem-matcher-simlint.json: the CI matcher
+// only annotates lines of this shape, so text output must keep it.
+var matcherRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): ([a-z][a-z-]*): (.+)$`)
+
+// TestTextOutputMatchesProblemMatcher pins the text format the GitHub
+// problem matcher parses: root-relative file, line, column, analyzer name,
+// message.
+func TestTextOutputMatchesProblemMatcher(t *testing.T) {
+	writeTempModule(t)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = exit %d, stderr %q; want 1", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no findings printed")
+	}
+	for _, line := range lines {
+		m := matcherRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("finding line does not match the problem matcher pattern: %q", line)
+			continue
+		}
+		if filepath.IsAbs(m[1]) {
+			t.Errorf("finding file %q is absolute; matcher annotations need root-relative paths", m[1])
+		}
 	}
 }

@@ -174,6 +174,11 @@ func All() []*Analyzer {
 		Exhaustive(),
 		FieldReset(),
 		SinkGuard(),
+		CtxFlow(),
+		GoLeak(),
+		LockOrder(),
+		NonDetTaint(),
+		ChanClose(),
 	}
 }
 

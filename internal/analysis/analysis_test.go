@@ -108,11 +108,16 @@ func TestHotAllocFixture(t *testing.T)     { runFixture(t, HotAlloc(), "hotalloc
 func TestExhaustiveFixture(t *testing.T)   { runFixture(t, Exhaustive(), "exhaustive.go") }
 func TestFieldResetFixture(t *testing.T)   { runFixture(t, FieldReset(), "fieldreset.go") }
 func TestSinkGuardFixture(t *testing.T)    { runFixture(t, SinkGuard(), "sinkguard.go") }
+func TestCtxFlowFixture(t *testing.T)      { runFixture(t, CtxFlow(), "ctxflow.go") }
+func TestGoLeakFixture(t *testing.T)       { runFixture(t, GoLeak(), "goleak.go") }
+func TestLockOrderFixture(t *testing.T)    { runFixture(t, LockOrder(), "lockorder.go") }
+func TestNonDetTaintFixture(t *testing.T)  { runFixture(t, NonDetTaint(), "nondet.go") }
+func TestChanCloseFixture(t *testing.T)    { runFixture(t, ChanClose(), "chanclose.go") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("all")
-	if err != nil || len(all) != 9 {
-		t.Fatalf("ByName(all) = %d analyzers, err %v; want 9, nil", len(all), err)
+	if err != nil || len(all) != 14 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want 14, nil", len(all), err)
 	}
 	two, err := ByName("detmap,noclock")
 	if err != nil || len(two) != 2 {
@@ -120,6 +125,56 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch) should fail")
+	}
+}
+
+// TestErrCheckLiteCmdMode checks the command-package contract: cmd/
+// packages flag only dropped finalizer errors (Close/Flush/Sync/Shutdown),
+// not every fmt.Println.
+func TestErrCheckLiteCmdMode(t *testing.T) {
+	const src = `package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func run(f *os.File) {
+	fmt.Println("status")
+	f.Sync()
+	f.Close()
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "main.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("x/cmd/tool", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ErrCheckLite()
+	if !a.AppliesTo("x/cmd/tool") {
+		t.Fatal("errcheck-lite should apply to cmd packages")
+	}
+	pass := NewPass(a, fset, []*ast.File{file}, pkg, info)
+	a.Run(pass)
+	ds := pass.Diagnostics()
+	if len(ds) != 2 {
+		t.Fatalf("cmd-mode diagnostics = %v, want exactly the two finalizer drops", ds)
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Message, "f.Sync") && !strings.Contains(d.Message, "f.Close") {
+			t.Errorf("unexpected cmd-mode diagnostic: %s", d)
+		}
 	}
 }
 

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChanClose returns the chanclose analyzer: it checks the close discipline
+// of the job/Done channel idioms the serving stack is built on. Closing a
+// channel is an ownership statement — exactly one party, on the sending
+// side, may make it, exactly once. The analyzer keys channels stably
+// across functions ("Job.done" for a field, "pkg.var" for a package-level
+// channel, per-function for locals) and aggregates every close, send, and
+// receive in the package, then flags:
+//
+//   - a close inside a loop — the second iteration panics;
+//   - double close exposure: a channel closed at more than one site where
+//     any close runs outside a serializing guard (a held mutex, by lexical
+//     replay, or a sync.Once.Do literal). Two state-machine transitions
+//     both reaching close(j.done) is exactly how a cancel/finish race
+//     panics the daemon;
+//   - close/send races: a channel both closed and sent to where either
+//     side is unguarded — `close` after an unsynchronized send panics the
+//     sender under the scheduler's worst interleaving;
+//   - receiver-side close: a function that only receives from a channel
+//     other functions send on must not be the one closing it.
+//
+// The guard analysis is the same lexical replay lockorder uses, so a
+// branch-heavy function may under-approximate what is guarded (missing a
+// finding, never inventing one).
+func ChanClose() *Analyzer {
+	a := &Analyzer{
+		Name: "chanclose",
+		Doc:  "flags double-close exposure, close/send races, receiver-side and in-loop closes",
+		AppliesTo: func(pkgPath string) bool {
+			return internalOnly(pkgPath) || strings.Contains(pkgPath, "/cmd/")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		prog := pass.Program
+		if prog == nil {
+			return
+		}
+		facts := collectChanFacts(pass, prog)
+		for _, key := range facts.order {
+			f := facts.byKey[key]
+			reportChanKey(pass, f)
+		}
+	}
+	return a
+}
+
+// chanSite is one close or send with its guard state.
+type chanSite struct {
+	fn      *FuncInfo
+	pos     token.Pos
+	guarded bool
+	inLoop  bool // closes only
+}
+
+// chanFacts aggregates one channel key's package-wide usage.
+type chanFacts struct {
+	display string
+	closes  []chanSite
+	sends   []chanSite
+	// recvFns / sendFns name the functions touching the channel, for the
+	// ownership-side rule.
+	recvFns map[*FuncInfo]bool
+	sendFns map[*FuncInfo]bool
+}
+
+type chanFactTable struct {
+	byKey map[string]*chanFacts
+	order []string
+}
+
+func (t *chanFactTable) get(key, display string) *chanFacts {
+	f, ok := t.byKey[key]
+	if !ok {
+		f = &chanFacts{
+			display: display,
+			recvFns: make(map[*FuncInfo]bool),
+			sendFns: make(map[*FuncInfo]bool),
+		}
+		t.byKey[key] = f
+		t.order = append(t.order, key)
+	}
+	return f
+}
+
+// chanKeyOf names a channel expression: field and package-level channels
+// share keys across functions; locals are keyed per declaration.
+func chanKeyOf(info *types.Info, fi *FuncInfo, e ast.Expr) (key, display string, ok bool) {
+	if tv, okt := info.Types[e]; !okt || !isChanType(tv.Type) {
+		return "", "", false
+	}
+	if k, oks := syncKeyOf(info, e); oks {
+		return k, k, true
+	}
+	if v := localVarOf(info, e); v != nil {
+		return funcDisplayName(fi.Obj) + ":" + v.Name(), v.Name(), true
+	}
+	return "", "", false
+}
+
+// collectChanFacts walks every function of the pass's package.
+func collectChanFacts(pass *Pass, prog *Program) *chanFactTable {
+	table := &chanFactTable{byKey: make(map[string]*chanFacts)}
+	for _, fi := range prog.FuncsInOrder() {
+		if fi.Pkg.Types != pass.Pkg {
+			continue
+		}
+		body := fi.Decl.Body
+		events := collectLockEvents(pass.Info, body)
+		guardedAt := func(pos token.Pos) bool {
+			return len(heldAt(events, pos)) > 0 || inOnceDo(pass.Info, body, pos)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if !isBuiltinCall(pass.Info, x, "close") || len(x.Args) != 1 {
+					return true
+				}
+				key, display, ok := chanKeyOf(pass.Info, fi, x.Args[0])
+				if !ok {
+					return true
+				}
+				f := table.get(key, display)
+				f.closes = append(f.closes, chanSite{
+					fn:      fi,
+					pos:     x.Pos(),
+					guarded: guardedAt(x.Pos()),
+					inLoop:  nodeInLoop(body, x.Pos()),
+				})
+			case *ast.SendStmt:
+				key, display, ok := chanKeyOf(pass.Info, fi, x.Chan)
+				if !ok {
+					return true
+				}
+				f := table.get(key, display)
+				f.sends = append(f.sends, chanSite{fn: fi, pos: x.Pos(), guarded: guardedAt(x.Pos())})
+				f.sendFns[fi] = true
+			case *ast.UnaryExpr:
+				if x.Op != token.ARROW {
+					return true
+				}
+				if key, display, ok := chanKeyOf(pass.Info, fi, x.X); ok {
+					table.get(key, display).recvFns[fi] = true
+				}
+			case *ast.RangeStmt:
+				if key, display, ok := chanKeyOf(pass.Info, fi, x.X); ok {
+					table.get(key, display).recvFns[fi] = true
+				}
+			}
+			return true
+		})
+	}
+	return table
+}
+
+// reportChanKey applies the close-discipline rules to one channel.
+func reportChanKey(pass *Pass, f *chanFacts) {
+	anySendUnguarded := false
+	for _, s := range f.sends {
+		if !s.guarded {
+			anySendUnguarded = true
+		}
+	}
+	for _, c := range f.closes {
+		switch {
+		case c.inLoop:
+			pass.Reportf(c.pos,
+				"close(%s) inside a loop closes the channel more than once; the second iteration panics", f.display)
+		case len(f.closes) > 1 && !c.guarded:
+			pass.Reportf(c.pos,
+				"%s is closed at %d sites and this one is unguarded; serialize every close under the owning mutex (or a sync.Once) to make double close impossible",
+				f.display, len(f.closes))
+		case len(f.sends) > 0 && (!c.guarded || anySendUnguarded):
+			pass.Reportf(c.pos,
+				"close(%s) can race with a send on the same channel; guard the close and every send under one mutex — send-on-closed-channel panics",
+				f.display)
+		case f.recvFns[c.fn] && !f.sendFns[c.fn] && sendsElsewhere(f, c.fn):
+			pass.Reportf(c.pos,
+				"%s is closed by %s, which only receives from it; close belongs to the sending side",
+				f.display, funcDisplayName(c.fn.Obj))
+		}
+	}
+}
+
+// sendsElsewhere reports whether any function other than fn sends on the
+// channel.
+func sendsElsewhere(f *chanFacts, fn *FuncInfo) bool {
+	for _, s := range f.sends {
+		if s.fn != fn {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// nodeInLoop reports whether pos sits inside a for/range statement in
+// body with no function-literal boundary in between (a close in a literal
+// created inside a loop runs once per literal call, not per iteration).
+func nodeInLoop(body *ast.BlockStmt, pos token.Pos) bool {
+	// The innermost enclosing node is the latest-starting one that still
+	// contains pos; if it is a loop (rather than a literal), the close
+	// repeats.
+	var best ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() && (best == nil || n.Pos() >= best.Pos()) {
+				best = n
+			}
+		}
+		return true
+	})
+	switch best.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}

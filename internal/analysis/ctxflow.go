@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowRoots names the request-path entry points of the serving stack in
+// addition to every HTTP-handler-shaped function (func(http.ResponseWriter,
+// *http.Request)): specs use the HotPathRoots grammar — "Type.method" or a
+// bare function name.
+var CtxFlowRoots = []string{
+	// The sweep coordinator's batch entry: everything it reaches runs on
+	// behalf of a caller-supplied context.
+	"Coordinator.RunAll",
+}
+
+// CtxFlow returns the ctxflow analyzer: every blocking operation in a
+// function the call graph proves reachable from a request-path root must
+// have a cancellation-derived exit, and every goroutine spawned on the
+// request path must be able to observe one. A serving daemon built on a
+// cycle-accurate simulator holds requests open for seconds; a blocking
+// wait that cannot observe ctx.Done keeps burning a worker after the
+// client is gone — the serving-layer analogue of the paper's loose loops,
+// where work already in flight is work the machine cannot take back.
+//
+// Blocking operations and their sanctioned forms:
+//
+//   - bare channel receive: allowed only from a context's Done() channel
+//     or a time.After/time.Tick timer;
+//   - bare channel send: allowed when the channel resolves (def-use) to a
+//     local make whose constant capacity covers every static send site in
+//     the function — the buffered fan-in idiom can never block;
+//   - select: needs a default clause, a receive from a Done() call, or a
+//     receive from a struct{} signal channel (the stop-channel idiom);
+//   - range over a channel: allowed — exit is close-driven, and chanclose/
+//     goleak police the closing discipline;
+//   - sync.WaitGroup.Wait: allowed when every goroutine the function
+//     spawns can observe a context or signal channel (bounded workers that
+//     all exit on cancel), flagged otherwise;
+//   - time.Sleep: always flagged — sleeping cannot be cancelled; use a
+//     timer in a select.
+//
+// Spawn rule: a goroutine spawned in a reachable function must reference a
+// context.Context, receive from (or select on) a struct{} signal channel,
+// or range over a channel. One with none of these has no exit path a
+// cancellation can reach.
+//
+// ctxflow needs whole-program facts (Pass.Program); with no program
+// attached it reports nothing.
+func CtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "requires blocking ops reachable from request handlers to be cancellable",
+		AppliesTo: func(pkgPath string) bool {
+			return internalOnly(pkgPath) || strings.Contains(pkgPath, "/cmd/")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		prog := pass.Program
+		if prog == nil {
+			return
+		}
+		var roots []*types.Func
+		for _, fi := range prog.FuncsInOrder() {
+			if isHTTPHandlerShaped(fi.Obj) || matchesFuncSpec(fi.Obj, CtxFlowRoots) {
+				roots = append(roots, fi.Obj)
+			}
+		}
+		reachable := prog.ReachableFrom(roots)
+		for _, fi := range prog.FuncsInOrder() {
+			root, ok := reachable[fi.Obj]
+			if !ok || fi.Pkg.Types != pass.Pkg {
+				continue
+			}
+			checkCtxFlowFunc(pass, prog, fi, root)
+		}
+	}
+	return a
+}
+
+// isHTTPHandlerShaped reports whether fn's parameters are exactly
+// (net/http.ResponseWriter, *net/http.Request).
+func isHTTPHandlerShaped(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	return isNetHTTPType(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isNetHTTPType(sig.Params().At(1).Type(), "Request")
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// matchesFuncSpec matches fn against "Type.method" / bare-name specs (the
+// HotPathRoots grammar).
+func matchesFuncSpec(fn *types.Func, specs []string) bool {
+	recv := receiverTypeNameOf(fn)
+	for _, spec := range specs {
+		if typ, method, ok := strings.Cut(spec, "."); ok {
+			if recv == typ && fn.Name() == method {
+				return true
+			}
+		} else if recv == "" && fn.Name() == spec {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxFlowFunc scans one reachable function for uncancellable blocking
+// operations and unexitable spawns.
+func checkCtxFlowFunc(pass *Pass, prog *Program, fi *FuncInfo, root *types.Func) {
+	body := fi.Decl.Body
+	du := BuildDefUse(pass.Info, body)
+	where := "on the request path from " + funcDisplayName(root)
+
+	// Literals spawned as goroutines are judged by the spawn rule, not the
+	// blocking scan; receives/sends that are a select's comm clause are
+	// judged by the select rule.
+	spawnedLits := make(map[*ast.FuncLit]bool)
+	for _, site := range prog.Spawns[fi.Obj] {
+		if site.Lit != nil {
+			spawnedLits[site.Lit] = true
+		}
+		checkSpawnExit(pass, prog, site)
+	}
+	inSelectComm := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if comm, okc := clause.(*ast.CommClause); okc && comm.Comm != nil {
+				markCommOps(comm.Comm, inSelectComm)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if spawnedLits[x] {
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW || inSelectComm[x] {
+				return true
+			}
+			if isDoneCallExpr(pass.Info, x.X) || isTimerChanExpr(pass, x.X) {
+				return true
+			}
+			// A struct{} channel receive is a signal wait (stop channel) or
+			// a semaphore-token release — both resolve by design, not by
+			// data arrival.
+			if tv, okt := pass.Info.Types[x.X]; okt && isSignalChanType(tv.Type) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"blocking receive %s has no cancellation path; select on it together with ctx.Done()", where)
+		case *ast.SendStmt:
+			if inSelectComm[x] {
+				return true
+			}
+			if sendCoveredByBuffer(pass.Info, du, body, x) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"blocking send %s can wedge if the receiver is gone; select on it together with ctx.Done() or buffer the channel for every send", where)
+		case *ast.SelectStmt:
+			if selectHasEscape(pass.Info, x) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"select %s has neither a default case nor a Done()/stop-channel case; a cancelled request cannot unblock it", where)
+		case *ast.CallExpr:
+			checkCtxFlowCall(pass, prog, fi, x, where)
+		}
+		return true
+	})
+}
+
+// markCommOps marks the channel operation nodes of one select comm clause.
+func markCommOps(comm ast.Stmt, set map[ast.Node]bool) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		set[s] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok {
+			set[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok {
+				set[u] = true
+			}
+		}
+	}
+}
+
+// isDoneCallExpr reports whether e is a call of a method named Done on a
+// context.Context value — `ctx.Done()`.
+func isDoneCallExpr(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// isTimerChanExpr reports whether e is time.After(...) or time.Tick(...),
+// whose receives are deadline-bounded rather than unbounded.
+func isTimerChanExpr(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return packageOf(pass, sel) == "time" && (sel.Sel.Name == "After" || sel.Sel.Name == "Tick")
+}
+
+// selectHasEscape reports whether a select can always exit on
+// cancellation: a default clause, a receive from a Done() call, or a
+// receive from a struct{} signal channel.
+func selectHasEscape(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default
+		}
+		for _, recv := range commReceiveOperands(comm.Comm) {
+			if isDoneCallExpr(info, recv) {
+				return true
+			}
+			if tv, okt := info.Types[recv]; okt && isSignalChanType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commReceiveOperands extracts the channel operands of a comm clause's
+// receive operations.
+func commReceiveOperands(comm ast.Stmt) []ast.Expr {
+	var out []ast.Expr
+	collect := func(e ast.Expr) {
+		if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			out = append(out, u.X)
+		}
+	}
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		collect(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			collect(rhs)
+		}
+	}
+	return out
+}
+
+// sendCoveredByBuffer applies the buffered fan-in sanction: the channel
+// resolves to a local make whose constant capacity is at least the number
+// of static send sites on that variable anywhere in the declaration
+// (spawned literals included — that is where fan-in sends live).
+func sendCoveredByBuffer(info *types.Info, du *DefUse, body *ast.BlockStmt, send *ast.SendStmt) bool {
+	v := localVarOf(info, send.Chan)
+	if v == nil {
+		return false
+	}
+	capacity, ok := du.ResolveMakeChan(send.Chan)
+	if !ok {
+		return false
+	}
+	return capacity >= countSendsOn(info, body, v)
+}
+
+// countSendsOn counts static send statements on the variable v in body.
+func countSendsOn(info *types.Info, body *ast.BlockStmt, v *types.Var) int {
+	n := 0
+	ast.Inspect(body, func(x ast.Node) bool {
+		if s, ok := x.(*ast.SendStmt); ok && localVarOf(info, s.Chan) == v {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// checkCtxFlowCall flags uncancellable blocking calls: time.Sleep always,
+// WaitGroup.Wait unless every goroutine this function spawns can observe a
+// cancellation.
+func checkCtxFlowCall(pass *Pass, prog *Program, fi *FuncInfo, call *ast.CallExpr, where string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if packageOf(pass, sel) == "time" && sel.Sel.Name == "Sleep" {
+		pass.Reportf(call.Pos(),
+			"time.Sleep %s cannot be cancelled; use a timer in a select with ctx.Done()", where)
+		return
+	}
+	if sel.Sel.Name != "Wait" {
+		return
+	}
+	s, oksel := pass.Info.Selections[sel]
+	if !oksel || s.Kind() != types.MethodVal || namedTypeNameOf(s.Recv()) != "WaitGroup" {
+		return
+	}
+	if fn, okf := s.Obj().(*types.Func); !okf || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	spawns := prog.Spawns[fi.Obj]
+	if len(spawns) == 0 {
+		pass.Reportf(call.Pos(),
+			"WaitGroup.Wait %s waits on goroutines spawned elsewhere; the request cannot prove they exit on cancellation", where)
+		return
+	}
+	for _, site := range spawns {
+		if !spawnHasExit(pass, prog, site) {
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Wait %s can block forever: the goroutine spawned at line %d has no context or stop-channel exit", where,
+				pass.Fset.Position(site.Go.Pos()).Line)
+			return
+		}
+	}
+}
+
+// checkSpawnExit flags goroutines spawned on the request path with no
+// cancellation-derived exit.
+func checkSpawnExit(pass *Pass, prog *Program, site SpawnSite) {
+	if site.Body(prog) == nil {
+		return // value call or extra-program target: nothing to inspect
+	}
+	if spawnHasExit(pass, prog, site) {
+		return
+	}
+	pass.Reportf(site.Go.Pos(),
+		"goroutine spawned on the request path has no context or stop-channel exit; it outlives a cancelled request")
+}
+
+// spawnHasExit reports whether the spawned body can observe a
+// cancellation: it references a context.Context, performs a channel
+// operation on a struct{} signal channel, or ranges over a channel.
+func spawnHasExit(pass *Pass, prog *Program, site SpawnSite) bool {
+	body := site.Body(prog)
+	if body == nil {
+		return true
+	}
+	info := pass.Info
+	if site.Lit == nil && site.Callee != nil {
+		if fi := prog.Funcs[site.Callee]; fi != nil {
+			info = fi.Pkg.Info
+		}
+	}
+	// Arguments evaluated at the spawn (e.g. go run(ctx)) count too.
+	if referencesContext(pass.Info, site.Go.Call) || referencesContext(info, body) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if tv, ok := info.Types[x.X]; ok && isSignalChanType(tv.Type) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && isChanType(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

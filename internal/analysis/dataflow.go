@@ -1,0 +1,572 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the intraprocedural half of the dataflow engine the
+// concurrency analyzers (ctxflow, goleak, lockorder, nondet-taint,
+// chanclose) build on. It deliberately trades precision for
+// predictability, in the same spirit as the call graph:
+//
+//   - DefUse resolves a local variable to its unique defining expression
+//     when it has exactly one assignment and its address is never taken;
+//     anything reassigned or aliased resolves to nothing. The analyzers
+//     only need the common ch := make(chan T, n) shape, where uniqueness
+//     is the normal case.
+//   - lock/channel keys name synchronization objects stably across
+//     functions: a field selector s.mu on a *Server receiver is
+//     "Server.mu" no matter what the receiver variable is called, so
+//     per-package facts about the same mutex or channel line up.
+//   - heldAt replays a function's mutex operations in lexical order to
+//     approximate the locks held at a position. The one branch idiom the
+//     replay models exactly is the early exit: an Unlock inside a block
+//     that goes on to return (or break/continue/panic) releases the lock
+//     only on that abandoned path, so the replay restores the lock at the
+//     terminator and the fall-through text is still considered holding
+//     it. Anything branchier under-approximates (a finding may be
+//     missed, never invented).
+
+// DefUse is a per-function map from local variables to their unique
+// defining expression.
+type DefUse struct {
+	info *types.Info
+	defs map[*types.Var]ast.Expr
+	// poisoned marks variables with multiple assignments, multi-value
+	// definitions, or a taken address.
+	poisoned map[*types.Var]bool
+}
+
+// BuildDefUse scans one function body (nested literals included — a
+// literal reads and writes its enclosing declaration's locals).
+func BuildDefUse(info *types.Info, body *ast.BlockStmt) *DefUse {
+	d := &DefUse{
+		info:     info,
+		defs:     make(map[*types.Var]ast.Expr),
+		poisoned: make(map[*types.Var]bool),
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		v := asVar(info.Defs[id])
+		if v == nil {
+			v = asVar(info.Uses[id])
+		}
+		if v == nil {
+			return
+		}
+		if _, seen := d.defs[v]; seen || rhs == nil {
+			d.poisoned[v] = true
+			return
+		}
+		d.defs[v] = rhs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, x.Rhs[i])
+					}
+				}
+			} else {
+				// Multi-value assignment: each LHS is unresolvable.
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, nil)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				var rhs ast.Expr
+				if len(x.Values) == len(x.Names) {
+					rhs = x.Values[i]
+				}
+				record(name, rhs)
+			}
+		case *ast.UnaryExpr:
+			// &x may alias the variable into an unknown writer.
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					if v := asVar(info.Uses[id]); v != nil {
+						d.poisoned[v] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				record(id, nil)
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// Def returns v's unique defining expression, or nil when the variable is
+// reassigned, aliased, or unknown.
+func (d *DefUse) Def(v *types.Var) ast.Expr {
+	if d == nil || d.poisoned[v] {
+		return nil
+	}
+	return d.defs[v]
+}
+
+// Resolve follows e through identifier chains (x := y; y := expr) to the
+// first non-identifier defining expression, or nil when any link is
+// unresolvable.
+func (d *DefUse) Resolve(e ast.Expr) ast.Expr {
+	for depth := 0; depth < 16; depth++ {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return e
+		}
+		v := asVar(d.info.Uses[id])
+		if v == nil {
+			v = asVar(d.info.Defs[id])
+		}
+		if v == nil {
+			return nil
+		}
+		def := d.Def(v)
+		if def == nil {
+			return nil
+		}
+		e = def
+	}
+	return nil
+}
+
+// ResolveMakeChan resolves e to a make(chan T, n) call defined in the same
+// function, returning the constant capacity (0 when the make has no
+// capacity argument). ok is false when e does not resolve to a channel
+// make with a statically known capacity.
+func (d *DefUse) ResolveMakeChan(e ast.Expr) (capacity int, ok bool) {
+	def := d.Resolve(e)
+	call, okc := ast.Unparen(def).(*ast.CallExpr)
+	if !okc {
+		return 0, false
+	}
+	id, oki := ast.Unparen(call.Fun).(*ast.Ident)
+	if !oki {
+		return 0, false
+	}
+	if b, okb := d.info.Uses[id].(*types.Builtin); !okb || b.Name() != "make" {
+		return 0, false
+	}
+	if len(call.Args) == 0 {
+		return 0, false
+	}
+	if tv, okt := d.info.Types[call.Args[0]]; !okt || !isChanType(tv.Type) {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return 0, true
+	}
+	tv, okt := d.info.Types[call.Args[1]]
+	if !okt || tv.Value == nil {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return int(n), true
+}
+
+func asVar(obj types.Object) *types.Var {
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// --- type shape helpers ---
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isSignalChanType reports whether t is a channel of empty struct — the
+// done/stop-channel idiom whose receives are cancellation waits, not data
+// transfers.
+func isSignalChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// referencesContext reports whether any identifier or selector inside n has
+// a context.Context type — the cheapest useful proxy for "this code can
+// observe cancellation".
+func referencesContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := x.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if tv, okt := info.Types[e]; okt && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedTypeNameOf returns the name of t's named type, following one level
+// of pointer indirection; "" when t has no name.
+func namedTypeNameOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// --- synchronization-object keys ---
+
+// syncKeyOf names a mutex or channel expression stably across functions:
+// a field selector keys on (named type of the base, field) — "Server.mu" —
+// and a package-level variable keys on "pkg.name". Local variables and
+// anything else return ok=false; callers that care about locals key them
+// per-function themselves.
+func syncKeyOf(info *types.Info, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[x.X]; ok {
+			if name := namedTypeNameOf(tv.Type); name != "" {
+				return name + "." + x.Sel.Name, true
+			}
+		}
+	case *ast.Ident:
+		v := asVar(info.Uses[x])
+		if v == nil {
+			v = asVar(info.Defs[x])
+		}
+		if v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+// localVarOf returns the (non-package-level) variable an identifier
+// expression denotes, nil otherwise.
+func localVarOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := asVar(info.Uses[id])
+	if v == nil {
+		v = asVar(info.Defs[id])
+	}
+	if v == nil || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+		return nil
+	}
+	return v
+}
+
+// --- mutex operation tracking ---
+
+// lockEvent is one Lock/Unlock-family call on a keyable mutex, in source
+// order. A restore event is synthetic: it re-acquires a lock at the point
+// an early-exit branch abandons the function, so the fall-through replay
+// stays exact. Restores participate in heldAt but are not acquisitions —
+// analyzers deriving "this code locks X" facts must skip them.
+type lockEvent struct {
+	pos      token.Pos
+	key      string
+	acquire  bool
+	deferred bool
+	restore  bool
+}
+
+// mutexMethods classifies the sync.Mutex / sync.RWMutex method set.
+var mutexMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": false, "TryRLock": false, // acquisition not guaranteed: ignored
+}
+
+// mutexOpOf decodes call as a mutex method call, returning the receiver
+// expression and whether the method acquires.
+func mutexOpOf(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, oks := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !oks {
+		return nil, "", false
+	}
+	if _, known := mutexMethods[sel.Sel.Name]; !known {
+		return nil, "", false
+	}
+	s, oksel := info.Selections[sel]
+	if !oksel || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	fn, okf := s.Obj().(*types.Func)
+	if !okf || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	recvType := namedTypeNameOf(s.Recv())
+	if recvType != "Mutex" && recvType != "RWMutex" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// collectLockEvents gathers body's mutex operations on keyable mutexes in
+// lexical order. Operations inside function literals are attributed to the
+// same body: goroutine-held locks are beyond this approximation, and the
+// repo's literals run synchronously or hold no locks.
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	add := func(call *ast.CallExpr, deferred bool) {
+		recv, method, ok := mutexOpOf(info, call)
+		if !ok {
+			return
+		}
+		if !mutexMethods[method] {
+			return
+		}
+		key, ok := syncKeyOf(info, recv)
+		if !ok {
+			return
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			key:      key,
+			acquire:  method == "Lock" || method == "RLock",
+			deferred: deferred,
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			add(x.Call, true)
+			return false
+		case *ast.CallExpr:
+			add(x, false)
+		}
+		return true
+	})
+	// Early-exit releases: lock; if cond { unlock; return }; ... — the
+	// fall-through path still holds the lock, so restore it at the
+	// terminator. Only locks acquired before the abandoned region qualify;
+	// a pair both acquired and released inside it is local to the dead
+	// path. Releases inside function literals never restore: a literal's
+	// return does not abandon the enclosing function.
+	var restores []lockEvent
+	for _, ev := range events {
+		if ev.acquire || ev.deferred || insideFuncLit(body, ev.pos) {
+			continue
+		}
+		region, term, ok := abandonedRegionOf(info, body, ev.pos)
+		if !ok || acquiredWithin(events, ev.key, region, ev.pos) {
+			continue
+		}
+		restores = append(restores, lockEvent{pos: term, key: ev.key, acquire: true, restore: true})
+	}
+	events = append(events, restores...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// abandonedRegionOf locates the innermost statement list enclosing a
+// release and the first terminating statement after it in that list. When
+// one exists, everything from the region's start to the terminator runs
+// only on a path that never reaches the code after the region.
+func abandonedRegionOf(info *types.Info, body *ast.BlockStmt, pos token.Pos) (regionStart, terminator token.Pos, ok bool) {
+	list := innermostStmtList(body, pos)
+	if len(list) == 0 {
+		return token.NoPos, token.NoPos, false
+	}
+	for _, s := range list {
+		if s.Pos() > pos && terminatesPath(info, s) {
+			return list[0].Pos(), s.Pos(), true
+		}
+	}
+	return token.NoPos, token.NoPos, false
+}
+
+// innermostStmtList returns the statement list of the innermost block,
+// case clause, or comm clause in body containing pos.
+func innermostStmtList(body *ast.BlockStmt, pos token.Pos) []ast.Stmt {
+	list := body.List
+	best := body.Pos()
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || n.Pos() > pos || pos >= n.End() {
+			return n == body // never descend into subtrees not containing pos
+		}
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			if x.Pos() >= best {
+				best, list = x.Pos(), x.List
+			}
+		case *ast.CaseClause:
+			if x.Pos() >= best {
+				best, list = x.Pos(), x.Body
+			}
+		case *ast.CommClause:
+			if x.Pos() >= best {
+				best, list = x.Pos(), x.Body
+			}
+		}
+		return true
+	})
+	return list
+}
+
+// terminatesPath reports whether s unconditionally leaves the enclosing
+// statement list: return, break, continue, goto, or a panic call.
+// Fallthrough transfers into the next case with state intact, so it does
+// not count.
+func terminatesPath(info *types.Info, s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return x.Tok != token.FALLTHROUGH
+	case *ast.ExprStmt:
+		call, ok := x.X.(*ast.CallExpr)
+		return ok && isBuiltinCall(info, call, "panic")
+	}
+	return false
+}
+
+// acquiredWithin reports whether key is acquired in [start, before) — used
+// to tell a region-local lock/unlock pair from an early release of an
+// outer lock.
+func acquiredWithin(events []lockEvent, key string, start, before token.Pos) bool {
+	for _, ev := range events {
+		if ev.acquire && !ev.restore && ev.key == key && ev.pos >= start && ev.pos < before {
+			return true
+		}
+	}
+	return false
+}
+
+// insideFuncLit reports whether pos falls within a function literal nested
+// in body.
+func insideFuncLit(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Pos() <= pos && pos < lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// heldAt replays events lexically before pos and returns the multiset of
+// mutex keys still held there, in acquisition order. A deferred Unlock
+// never releases (it runs at function exit); release of a lock that is not
+// held is a no-op.
+func heldAt(events []lockEvent, pos token.Pos) []string {
+	var held []string
+	for _, ev := range events {
+		if ev.pos >= pos {
+			break
+		}
+		switch {
+		case ev.acquire:
+			held = append(held, ev.key)
+		case ev.deferred:
+			// Runs at exit, not here.
+		default:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.key {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return held
+}
+
+// containsKey reports membership in a small key slice.
+func containsKey(keys []string, k string) bool {
+	for _, x := range keys {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// inOnceDo reports whether pos falls inside a function literal passed to a
+// sync.Once Do call anywhere in body — the other sanctioned way to make a
+// close or similar one-shot transition race-free.
+func inOnceDo(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, oks := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !oks || sel.Sel.Name != "Do" {
+			return true
+		}
+		s, oksel := info.Selections[sel]
+		if !oksel || s.Kind() != types.MethodVal || namedTypeNameOf(s.Recv()) != "Once" {
+			return true
+		}
+		fn, okf := s.Obj().(*types.Func)
+		if !okf || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, okl := arg.(*ast.FuncLit); okl {
+				if lit.Pos() <= pos && pos <= lit.End() {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrCheckLite returns the errcheck-lite analyzer: it flags statements that
@@ -15,13 +16,21 @@ import (
 // fmt.Fprint* into a *strings.Builder or *bytes.Buffer, and methods on
 // *strings.Builder itself (its Write methods are documented to always
 // return a nil error) — would only add `_ =` noise.
+//
+// Command packages (cmd/) get a narrower contract: only finalizer methods
+// — Close, Flush, Sync, Shutdown — are checked there. Those are the calls
+// whose dropped error silently truncates an output file or loses buffered
+// work at exit; flagging every fmt.Println in a CLI would bury them.
 func ErrCheckLite() *Analyzer {
 	a := &Analyzer{
-		Name:      "errcheck-lite",
-		Doc:       "flags call statements that silently discard an error result",
-		AppliesTo: internalOnly,
+		Name: "errcheck-lite",
+		Doc:  "flags call statements that silently discard an error result",
+		AppliesTo: func(pkgPath string) bool {
+			return internalOnly(pkgPath) || strings.Contains(pkgPath, "/cmd/")
+		},
 	}
 	a.Run = func(pass *Pass) {
+		finalizersOnly := strings.Contains(pass.Pkg.Path(), "/cmd/")
 		for _, file := range pass.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				var call *ast.CallExpr
@@ -37,6 +46,9 @@ func ErrCheckLite() *Analyzer {
 					return true
 				}
 				if !returnsError(pass, call) || isInfallible(pass, call) {
+					return true
+				}
+				if finalizersOnly && !isFinalizerCall(call) {
 					return true
 				}
 				pass.Reportf(call.Pos(),
@@ -112,6 +124,21 @@ func isMemWriterType(t types.Type) bool {
 	}
 	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
 	return path == "strings" && name == "Builder" || path == "bytes" && name == "Buffer"
+}
+
+// isFinalizerCall reports whether the call is a method call named like a
+// resource finalizer — the cmd-package subset whose dropped error loses
+// buffered output.
+func isFinalizerCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Close", "Flush", "Sync", "Shutdown":
+		return true
+	}
+	return false
 }
 
 // callName renders the called expression for the diagnostic.

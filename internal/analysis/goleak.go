@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak returns the goleak analyzer: it flags goroutines whose only exit
+// is a send on a channel the spawner can abandon. The shape it hunts is
+//
+//	ch := make(chan T)          // unbuffered (or under-buffered)
+//	go func() { ch <- work() }()
+//	if err := precheck(); err != nil {
+//		return                  // nobody will ever receive: goroutine leaks
+//	}
+//	v := <-ch
+//
+// and its select variant, where the receive competes with other cases and
+// the losing goroutine blocks forever. The fix the analyzer pushes toward
+// is the one the dispatch layer already uses: buffer the channel with
+// capacity >= the number of static sends, so a send can never block and an
+// abandoned result is just garbage-collected.
+//
+// For each goroutine spawned as a function literal, every send on a
+// channel made in the spawning function is checked:
+//
+//   - constant capacity >= the declaration's static send count: safe, the
+//     send cannot block (the fan-in idiom);
+//   - otherwise, the spawner must visibly commit to receiving: no receive
+//     at all is flagged; a receive only inside a select with other cases
+//     (or a default) is flagged as abandonable; a return statement between
+//     the spawn and the first receive is flagged as an early exit that
+//     strands the sender.
+//
+// Named-function spawns are not analyzed — passing a channel into a named
+// worker is an ownership transfer this lexical analysis cannot see
+// through; ctxflow's spawn rule still covers their exit discipline.
+func GoLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "goleak",
+		Doc:  "flags goroutine sends on channels the spawner can abandon",
+		AppliesTo: func(pkgPath string) bool {
+			return internalOnly(pkgPath) || strings.Contains(pkgPath, "/cmd/")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		prog := pass.Program
+		if prog == nil {
+			return
+		}
+		for _, fi := range prog.FuncsInOrder() {
+			if fi.Pkg.Types != pass.Pkg {
+				continue
+			}
+			for _, site := range prog.Spawns[fi.Obj] {
+				if site.Lit != nil {
+					checkSpawnSends(pass, fi, site)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// checkSpawnSends checks every send inside one spawned literal against the
+// spawner's receive discipline.
+func checkSpawnSends(pass *Pass, fi *FuncInfo, site SpawnSite) {
+	info := pass.Info
+	body := fi.Decl.Body
+	du := BuildDefUse(info, body)
+
+	// Channels this goroutine sends on, keyed by spawner-local variable.
+	sendsByChan := make(map[*types.Var][]*ast.SendStmt)
+	var chansInOrder []*types.Var
+	ast.Inspect(site.Lit.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		// A struct{} send is a semaphore acquire or a completion signal,
+		// not a result handoff: there is no value to strand, and the
+		// matching receive is legitimately in a sibling goroutine.
+		if tv, okt := info.Types[s.Chan]; okt && isSignalChanType(tv.Type) {
+			return true
+		}
+		v := localVarOf(info, s.Chan)
+		if v == nil || !declaredOutside(info, site.Lit, s.Chan) {
+			return true
+		}
+		if len(sendsByChan[v]) == 0 {
+			chansInOrder = append(chansInOrder, v)
+		}
+		sendsByChan[v] = append(sendsByChan[v], s)
+		return true
+	})
+
+	for _, v := range chansInOrder {
+		sends := sendsByChan[v]
+		if capacity, ok := du.ResolveMakeChan(sends[0].Chan); ok &&
+			capacity >= countSendsOn(info, body, v) {
+			continue // buffered past every static send: cannot block
+		}
+		verdict := receiveVerdict(info, body, site, v)
+		for _, s := range sends {
+			switch verdict {
+			case recvNone:
+				pass.Reportf(s.Pos(),
+					"goroutine sends on %s but the spawner never receives from it; the goroutine blocks forever — buffer the channel or receive unconditionally", v.Name())
+			case recvAbandonable:
+				pass.Reportf(s.Pos(),
+					"goroutine send on %s can be abandoned: the spawner only receives inside a select with other exits — buffer the channel with capacity for every send", v.Name())
+			case recvAfterReturn:
+				pass.Reportf(s.Pos(),
+					"goroutine send on %s leaks on the spawner's early return before the receive; buffer the channel or receive on every path", v.Name())
+			}
+		}
+	}
+}
+
+// declaredOutside reports whether the channel expression's variable is
+// declared outside the literal (a spawner-local captured by the
+// goroutine), not a parameter or local of the literal itself.
+func declaredOutside(info *types.Info, lit *ast.FuncLit, ch ast.Expr) bool {
+	v := localVarOf(info, ch)
+	if v == nil {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}
+
+type recvKind int
+
+const (
+	recvOK recvKind = iota
+	recvNone
+	recvAbandonable
+	recvAfterReturn
+)
+
+// receiveVerdict classifies how the spawner consumes channel v after
+// spawning the goroutine at site.
+func receiveVerdict(info *types.Info, body *ast.BlockStmt, site SpawnSite, v *types.Var) recvKind {
+	type recv struct {
+		pos      token.Pos
+		inSelect bool // select with >1 case or a default
+	}
+	var recvs []recv
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit == site.Lit {
+			return false // the goroutine's own receives do not unblock it
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && localVarOf(info, x.X) == v {
+				recvs = append(recvs, recv{pos: x.Pos(), inSelect: false})
+			}
+		case *ast.RangeStmt:
+			if localVarOf(info, x.X) == v {
+				recvs = append(recvs, recv{pos: x.Pos(), inSelect: false})
+			}
+		case *ast.SelectStmt:
+			abandonable := len(x.Body.List) > 1 || selectHasDefault(x)
+			for _, clause := range x.Body.List {
+				comm, okc := clause.(*ast.CommClause)
+				if !okc || comm.Comm == nil {
+					continue
+				}
+				for _, op := range commReceiveOperands(comm.Comm) {
+					if localVarOf(info, op) == v {
+						recvs = append(recvs, recv{pos: comm.Pos(), inSelect: abandonable})
+					}
+				}
+			}
+			return false // comm receives already collected; skip the UnaryExpr visit
+		}
+		return true
+	})
+	if len(recvs) == 0 {
+		return recvNone
+	}
+	first := recvs[0]
+	for _, r := range recvs[1:] {
+		if r.pos < first.pos {
+			first = r
+		}
+	}
+	if first.inSelect {
+		return recvAbandonable
+	}
+	if returnBetween(body, site.Go.End(), first.pos) {
+		return recvAfterReturn
+	}
+	return recvOK
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// returnBetween reports whether a return statement (outside nested
+// literals) sits lexically between lo and hi.
+func returnBetween(body *ast.BlockStmt, lo, hi token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > lo && ret.End() < hi {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder returns the lockorder analyzer: it builds a per-package mutex
+// acquisition graph and flags (a) calls made while holding a lock into
+// functions that may acquire the same lock — Go mutexes are not reentrant,
+// so that is a self-deadlock, not a slow path — and (b) lock-order cycles:
+// some code path acquires A then B while another acquires B then A, the
+// classic two-goroutine deadlock that only fires under load.
+//
+// Locks are identified by stable keys ("Server.mu" for a field on a named
+// receiver type, "pkg.var" for a package-level mutex); locks held in local
+// variables are invisible to the graph, which matches how the serving
+// stack actually structures its state. The held-set at a call site is a
+// lexical replay of the function's Lock/Unlock operations, so a
+// conditional early unlock under-approximates (a finding may be missed,
+// never invented); `defer mu.Unlock()` holds to the end of the function.
+//
+// What a callee "may acquire" is an interprocedural fixpoint over the call
+// graph: the keys it locks directly, plus everything its callees (with
+// interface calls fanned out to every implementation) may acquire.
+// TryLock is ignored on both sides — a failed TryLock is not an
+// acquisition.
+//
+// lockorder needs whole-program facts (Pass.Program); with no program
+// attached it reports nothing.
+func LockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "flags lock-held calls that may re-acquire the held lock, and lock-order cycles",
+		AppliesTo: func(pkgPath string) bool {
+			return internalOnly(pkgPath) || strings.Contains(pkgPath, "/cmd/")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		prog := pass.Program
+		if prog == nil {
+			return
+		}
+		may := prog.mayAcquireSummaries()
+
+		// acquisition edges A -> B discovered in this package, with the
+		// position that witnesses each edge.
+		type edge struct {
+			from, to string
+			pos      token.Pos
+			via      string // callee display name for indirect edges, "" for direct Lock
+		}
+		var edges []edge
+
+		for _, fi := range prog.FuncsInOrder() {
+			if fi.Pkg.Types != pass.Pkg {
+				continue
+			}
+			events := collectLockEvents(pass.Info, fi.Decl.Body)
+			// Direct edges: a Lock while another key is held. Synthetic
+			// restore events are replay bookkeeping, not acquisitions.
+			for _, ev := range events {
+				if !ev.acquire || ev.restore {
+					continue
+				}
+				for _, held := range heldAt(events, ev.pos) {
+					if held == ev.key {
+						pass.Reportf(ev.pos,
+							"%s acquired while already held in %s; Go mutexes are not reentrant — this deadlocks",
+							ev.key, funcDisplayName(fi.Obj))
+						continue
+					}
+					edges = append(edges, edge{from: held, to: ev.key, pos: ev.pos})
+				}
+			}
+			// Indirect edges and self-deadlocks: calls under a held lock.
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, _, isMutexOp := mutexOpOf(pass.Info, call); isMutexOp {
+					return true
+				}
+				held := heldAt(events, call.Pos())
+				if len(held) == 0 {
+					return true
+				}
+				for _, callee := range prog.CalleesAt(pass.Info, call) {
+					acq := sortedBoolKeys(may[callee])
+					if len(acq) == 0 {
+						continue
+					}
+					for _, h := range held {
+						if containsKey(acq, h) {
+							pass.Reportf(call.Pos(),
+								"call to %s while holding %s, and %s may acquire %s (transitively); Go mutexes are not reentrant — this deadlocks",
+								funcDisplayName(callee), h, funcDisplayName(callee), h)
+							continue
+						}
+						for _, b := range acq {
+							edges = append(edges, edge{from: h, to: b, pos: call.Pos(), via: funcDisplayName(callee)})
+						}
+					}
+				}
+				return true
+			})
+		}
+
+		// Cycle detection over this package's acquisition graph: an edge is
+		// on a cycle when its target reaches its source.
+		succ := make(map[string][]string)
+		for _, e := range edges {
+			if !containsKey(succ[e.from], e.to) {
+				succ[e.from] = append(succ[e.from], e.to)
+			}
+		}
+		for _, e := range edges {
+			if !keyReaches(succ, e.to, e.from) {
+				continue
+			}
+			how := "acquired directly"
+			if e.via != "" {
+				how = "acquired via " + e.via
+			}
+			pass.Reportf(e.pos,
+				"lock-order cycle: %s is %s while %s is held, but another path acquires %s while holding %s — deadlock under contention; pick one acquisition order",
+				e.to, how, e.from, e.from, e.to)
+		}
+	}
+	return a
+}
+
+// mayAcquireSummaries computes (once per Program) which lock keys each
+// function may acquire, directly or through calls, as a fixpoint over the
+// call graph.
+func (p *Program) mayAcquireSummaries() map[*types.Func]map[string]bool {
+	p.mayAcquireOnce.Do(func() {
+		may := make(map[*types.Func]map[string]bool)
+		// Seed with direct acquisitions.
+		for _, fi := range p.funcsInOrder {
+			direct := make(map[string]bool)
+			for _, ev := range collectLockEvents(fi.Pkg.Info, fi.Decl.Body) {
+				if ev.acquire && !ev.restore {
+					direct[ev.key] = true
+				}
+			}
+			may[fi.Obj] = direct
+		}
+		// Propagate along call edges to a fixpoint; the lattice is finite
+		// (key sets only grow), so this terminates.
+		for changed := true; changed; {
+			changed = false
+			for _, fi := range p.funcsInOrder {
+				mine := may[fi.Obj]
+				for _, callee := range p.Calls[fi.Obj] {
+					theirs, ok := may[callee]
+					if !ok {
+						continue
+					}
+					for _, k := range sortedBoolKeys(theirs) {
+						if !mine[k] {
+							mine[k] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		p.mayAcquire = may
+	})
+	return p.mayAcquire
+}
+
+// sortedBoolKeys returns a bool-set's keys in sorted order (deterministic
+// iteration, per detmap's own rule).
+func sortedBoolKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyReaches reports whether from reaches to in the acquisition graph.
+func keyReaches(succ map[string][]string, from, to string) bool {
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		if k == to {
+			return true
+		}
+		for _, next := range succ[k] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}

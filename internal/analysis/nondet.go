@@ -1,0 +1,512 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NonDetTaint returns the nondet-taint analyzer: the interprocedural
+// extension of detmap/noclock. Those analyzers forbid nondeterminism at
+// the syntax level inside internal packages; this one tracks where
+// nondeterministic *values* flow, across function boundaries, and reports
+// only flows that reach one of the surfaces the repo's byte-identity
+// guarantees depend on:
+//
+//   - simulation results: writes into fields of a struct named Result;
+//   - cache keys: arguments of any function named ConfigKey (the serving
+//     cache is content-addressed — a nondeterministic key silently splits
+//     the cache and un-memoizes identical configs);
+//   - observability event streams: arguments of Event methods on
+//     Sink-suffixed types (downstream tooling diffs event streams
+//     byte-for-byte).
+//
+// The taint lattice is a small bitset: one bit for intrinsic
+// nondeterminism (taint sources), one per parameter. Sources are calls to
+// time.Now/Since/Until, the package-level math/rand and math/rand/v2
+// functions (the noclock list), and map-iteration order — an append or
+// string concatenation inside a range over a map taints the accumulator,
+// unless the function visibly sorts afterwards (detmap's collect-then-sort
+// sanction). Per-function summaries — which parameters flow to the return
+// value, and which parameters reach a sink inside the callee — are
+// propagated along call edges (interface calls fan out) to a fixpoint, so
+// a flow through three helpers in two packages is still one finding at the
+// point where the tainted value enters the flow.
+//
+// Sanctioned sanitizers, by construction rather than by annotation: the
+// injected-clock seams (`Now: time.Now`, After/Jitter function fields)
+// never taint, because a *reference* to time.Now is not a call — only
+// calling it produces a tainted value; and sorting after a map range
+// restores determinism of the collected slice. Anything cleverer takes a
+// `// simlint:ignore nondet-taint <reason>` with its justification.
+//
+// nondet-taint needs whole-program facts (Pass.Program); with no program
+// attached it reports nothing.
+func NonDetTaint() *Analyzer {
+	a := &Analyzer{
+		Name: "nondet-taint",
+		Doc:  "tracks wall-clock/rand/map-order taint across calls into results, cache keys, and event streams",
+		AppliesTo: func(pkgPath string) bool {
+			return internalOnly(pkgPath) || strings.Contains(pkgPath, "/cmd/")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		prog := pass.Program
+		if prog == nil {
+			return
+		}
+		sums := prog.taintSummariesOf()
+		for _, fi := range prog.FuncsInOrder() {
+			if fi.Pkg.Types != pass.Pkg {
+				continue
+			}
+			scan := newTaintScan(prog, fi, sums)
+			scan.report = func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			}
+			scan.run()
+		}
+	}
+	return a
+}
+
+// taintMask is the lattice element: bit 0 is intrinsic nondeterminism,
+// bit i+1 is "depends on parameter i".
+type taintMask uint64
+
+const taintSrc taintMask = 1
+
+func paramBit(i int) taintMask {
+	if i >= 62 {
+		return taintSrc // overflow: treat as intrinsically tainted (conservative)
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// taintSummaries carries the interprocedural facts, keyed by function.
+type taintSummaries struct {
+	// ret is the mask flowing into the function's return values.
+	ret map[*types.Func]taintMask
+	// sink is the mask of parameters that reach a sink inside the function
+	// (directly or through its callees).
+	sink map[*types.Func]taintMask
+}
+
+// taintSummariesOf computes the summaries once per program, iterating the
+// per-function scan to a fixpoint over the call graph.
+func (p *Program) taintSummariesOf() *taintSummaries {
+	p.taintOnce.Do(func() {
+		sums := &taintSummaries{
+			ret:  make(map[*types.Func]taintMask),
+			sink: make(map[*types.Func]taintMask),
+		}
+		// Masks derived from a monotone recomputation stabilize quickly;
+		// the iteration cap bounds pathological call chains.
+		for iter := 0; iter < 10; iter++ {
+			changed := false
+			for _, fi := range p.funcsInOrder {
+				scan := newTaintScan(p, fi, sums)
+				scan.run()
+				if scan.retMask != sums.ret[fi.Obj] || scan.sinkMask != sums.sink[fi.Obj] {
+					sums.ret[fi.Obj] = scan.retMask
+					sums.sink[fi.Obj] = scan.sinkMask
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		p.taint = sums
+	})
+	return p.taint
+}
+
+// taintScan is one pass over one function body: a forward, source-order
+// abstract interpretation of assignments against the taint lattice.
+type taintScan struct {
+	prog *Program
+	fi   *FuncInfo
+	info *types.Info
+	sums *taintSummaries
+
+	vars     map[*types.Var]taintMask
+	retMask  taintMask
+	sinkMask taintMask
+	// report, when set, emits diagnostics for source-tainted sink hits
+	// (nil during summary fixpoint rounds).
+	report func(pos token.Pos, format string, args ...any)
+}
+
+func newTaintScan(prog *Program, fi *FuncInfo, sums *taintSummaries) *taintScan {
+	s := &taintScan{
+		prog: prog,
+		fi:   fi,
+		info: fi.Pkg.Info,
+		sums: sums,
+		vars: make(map[*types.Var]taintMask),
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			s.vars[sig.Params().At(i)] = paramBit(i)
+		}
+	}
+	return s
+}
+
+// run walks the body twice (the second round propagates loop-carried
+// taint) and evaluates sinks on the final state.
+func (s *taintScan) run() {
+	for round := 0; round < 2; round++ {
+		ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+			s.visit(n, round == 1)
+			return true
+		})
+	}
+}
+
+// visit transfers one statement; sinks fire only on the final round so
+// loop-carried taint is visible to them.
+func (s *taintScan) visit(n ast.Node, final bool) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		s.visitAssign(x, final)
+	case *ast.RangeStmt:
+		s.visitRange(x)
+	case *ast.ReturnStmt:
+		for _, res := range x.Results {
+			s.retMask |= s.exprMask(res, 0)
+		}
+	case *ast.CallExpr:
+		if final {
+			s.checkCallSinks(x)
+		} else {
+			// Still compute callee-sink propagation into sinkMask.
+			s.propagateCallSinks(x, nil)
+		}
+	case *ast.CompositeLit:
+		if final {
+			s.checkResultLiteral(x)
+		}
+	}
+}
+
+// visitAssign transfers lhs |= mask(rhs) and fires the Result-field sink.
+func (s *taintScan) visitAssign(x *ast.AssignStmt, final bool) {
+	for i, lhs := range x.Lhs {
+		var mask taintMask
+		if len(x.Rhs) == len(x.Lhs) {
+			mask = s.exprMask(x.Rhs[i], 0)
+		} else if len(x.Rhs) == 1 {
+			mask = s.exprMask(x.Rhs[0], 0)
+		}
+		// Compound assignment (s += expr) folds the old value in.
+		if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+			mask |= s.exprMask(lhs, 0)
+		}
+		if mask == 0 {
+			continue
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v := asVar(s.info.Defs[id]); v != nil {
+				s.vars[v] |= mask
+			} else if v := asVar(s.info.Uses[id]); v != nil {
+				s.vars[v] |= mask
+			}
+			continue
+		}
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			if tv, okt := s.info.Types[sel.X]; okt && namedTypeNameOf(tv.Type) == "Result" {
+				reporter := s.report
+				if !final {
+					reporter = nil // summaries only; the final round reports
+				}
+				s.hitSinkAt(x.Pos(), mask, "simulation result field "+sel.Sel.Name, reporter)
+			}
+		}
+	}
+}
+
+// visitRange applies the map-order rule: inside a range over a map with no
+// sort afterwards, appends and string concatenations taint their
+// accumulator with the ordering bit.
+func (s *taintScan) visitRange(rng *ast.RangeStmt) {
+	tv, ok := s.info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if s.sortCallAfter(rng) {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		ordered := asg.Tok == token.ADD_ASSIGN // s += part: order-sensitive
+		if !ordered {
+			for _, rhs := range asg.Rhs {
+				if call, okc := ast.Unparen(rhs).(*ast.CallExpr); okc {
+					if id, oki := ast.Unparen(call.Fun).(*ast.Ident); oki {
+						if b, okb := s.info.Uses[id].(*types.Builtin); okb && b.Name() == "append" {
+							ordered = true
+						}
+					}
+				}
+			}
+		}
+		if !ordered {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if v := localVarOf(s.info, lhs); v != nil {
+				s.vars[v] |= taintSrc
+			}
+		}
+		return true
+	})
+}
+
+// sortCallAfter mirrors detmap's sanction: any sort.*/slices.* call
+// lexically at or after the range statement in the same declaration.
+func (s *taintScan) sortCallAfter(rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.Pos() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, oki := sel.X.(*ast.Ident); oki {
+			if pkgName, okp := s.info.Uses[id].(*types.PkgName); okp {
+				p := pkgName.Imported().Name()
+				if p == "sort" || p == "slices" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprMask evaluates an expression against the lattice.
+func (s *taintScan) exprMask(e ast.Expr, depth int) taintMask {
+	if e == nil || depth > 20 {
+		return 0
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := asVar(s.info.Uses[x]); v != nil {
+			return s.vars[v]
+		}
+		if v := asVar(s.info.Defs[x]); v != nil {
+			return s.vars[v]
+		}
+	case *ast.ParenExpr:
+		return s.exprMask(x.X, depth+1)
+	case *ast.UnaryExpr:
+		return s.exprMask(x.X, depth+1)
+	case *ast.StarExpr:
+		return s.exprMask(x.X, depth+1)
+	case *ast.BinaryExpr:
+		return s.exprMask(x.X, depth+1) | s.exprMask(x.Y, depth+1)
+	case *ast.SelectorExpr:
+		// A field of a tainted struct is tainted.
+		return s.exprMask(x.X, depth+1)
+	case *ast.IndexExpr:
+		return s.exprMask(x.X, depth+1)
+	case *ast.SliceExpr:
+		return s.exprMask(x.X, depth+1)
+	case *ast.CompositeLit:
+		var m taintMask
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				m |= s.exprMask(kv.Value, depth+1)
+			} else {
+				m |= s.exprMask(elt, depth+1)
+			}
+		}
+		return m
+	case *ast.TypeAssertExpr:
+		return s.exprMask(x.X, depth+1)
+	case *ast.CallExpr:
+		return s.callMask(x, depth)
+	}
+	return 0
+}
+
+// callMask evaluates a call: taint sources, conversions, builtins, and
+// summary-driven flow through resolved callees.
+func (s *taintScan) callMask(call *ast.CallExpr, depth int) taintMask {
+	if s.isTaintSource(call) {
+		return taintSrc
+	}
+	// Conversions pass taint through.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return s.exprMask(call.Args[0], depth+1)
+		}
+		return 0
+	}
+	// Builtins: append/min/max/len propagate their operands' taint.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, okb := s.info.Uses[id].(*types.Builtin); okb {
+			var m taintMask
+			for _, arg := range call.Args {
+				m |= s.exprMask(arg, depth+1)
+			}
+			return m
+		}
+	}
+	var out taintMask
+	inProgram := false
+	for _, callee := range s.prog.CalleesAt(s.info, call) {
+		if s.prog.Funcs[callee] == nil {
+			continue
+		}
+		inProgram = true
+		ret := s.sums.ret[callee]
+		if ret&taintSrc != 0 {
+			out |= taintSrc
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if ret&paramBit(i) != 0 {
+				out |= s.exprMask(call.Args[i], depth+1)
+			}
+		}
+	}
+	if !inProgram {
+		// Extra-program call (stdlib, or a func-typed field): assume it
+		// passes its operands' taint through — otherwise a method call
+		// launders its receiver (t.Seconds() is as tainted as t).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out |= s.exprMask(sel.X, depth+1)
+		}
+		for _, arg := range call.Args {
+			out |= s.exprMask(arg, depth+1)
+		}
+	}
+	return out
+}
+
+// isTaintSource matches calls to the wall-clock and ambient-randomness
+// entry points (the noclock list).
+func (s *taintScan) isTaintSource(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := s.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	banned, ok := noclockBanned[pkgName.Imported().Path()]
+	if !ok {
+		return false
+	}
+	if _, bad := banned[sel.Sel.Name]; bad {
+		return true
+	}
+	// time.Now is in the list; time.Sleep etc. are not sources.
+	return false
+}
+
+// checkCallSinks fires the call-shaped sinks with reporting enabled.
+func (s *taintScan) checkCallSinks(call *ast.CallExpr) {
+	s.propagateCallSinks(call, s.report)
+}
+
+// propagateCallSinks handles the three call-shaped sink forms: Event
+// methods on Sink types, ConfigKey functions, and callees whose summary
+// says a parameter reaches a sink inside them.
+func (s *taintScan) propagateCallSinks(call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
+	// Event method on a *Sink-named type.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Event" {
+		if selection, oks := s.info.Selections[sel]; oks && selection.Kind() == types.MethodVal {
+			if strings.HasSuffix(namedTypeNameOf(selection.Recv()), "Sink") {
+				for _, arg := range call.Args {
+					s.hitSinkAt(arg.Pos(), s.exprMask(arg, 0), "the observability event stream", report)
+				}
+				return
+			}
+		}
+	}
+	// ConfigKey call: the cache's content address.
+	for _, callee := range s.prog.CalleesAt(s.info, call) {
+		if callee.Name() == "ConfigKey" {
+			for _, arg := range call.Args {
+				s.hitSinkAt(arg.Pos(), s.exprMask(arg, 0), "the cache key (ConfigKey)", report)
+			}
+			continue
+		}
+		sinkParams := s.sums.sink[callee]
+		if sinkParams == 0 {
+			continue
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if sinkParams&paramBit(i) == 0 {
+				continue
+			}
+			s.hitSinkAt(call.Args[i].Pos(), s.exprMask(call.Args[i], 0),
+				"a determinism-sensitive sink inside "+funcDisplayName(callee), report)
+		}
+	}
+}
+
+// checkResultLiteral fires the Result composite-literal sink.
+func (s *taintScan) checkResultLiteral(lit *ast.CompositeLit) {
+	tv, ok := s.info.Types[lit]
+	if !ok || namedTypeNameOf(tv.Type) != "Result" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		name := ""
+		if kv, okk := elt.(*ast.KeyValueExpr); okk {
+			val = kv.Value
+			if id, oki := kv.Key.(*ast.Ident); oki {
+				name = " " + id.Name
+			}
+		}
+		s.hitSinkAt(val.Pos(), s.exprMask(val, 0), "simulation result field"+name, s.report)
+	}
+}
+
+// hitSinkAt folds a sink hit into the summaries and, on reporting rounds,
+// emits the diagnostic for intrinsically tainted flows.
+func (s *taintScan) hitSinkAt(pos token.Pos, mask taintMask, what string, report func(pos token.Pos, format string, args ...any)) {
+	if mask == 0 {
+		return
+	}
+	s.sinkMask |= mask &^ taintSrc
+	if mask&taintSrc != 0 && report != nil {
+		report(pos,
+			"nondeterministic value (wall clock, global rand, or map order) flows into %s; results must be a pure function of (Config, Seed)",
+			what)
+	}
+}

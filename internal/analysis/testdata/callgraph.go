@@ -53,3 +53,42 @@ func (m *Machine) deep() {}
 
 // orphan is never referenced.
 func orphan() {}
+
+// --- spawn edges and hook dispatch (the dataflow layer's diet) ---
+
+// Options mirrors experiments.Options: Runner is a func-typed hook an
+// outer layer injects. A call through it resolves to nothing; the value
+// edge added where the method value is wired in is what keeps the
+// injected implementation reachable.
+type Options struct {
+	Runner func(n int) int
+}
+
+type Pool struct {
+	opts Options
+	sink EmitSink
+}
+
+// inject wires a method value into the hook.
+func (p *Pool) inject() {
+	p.opts.Runner = p.cachedRun
+}
+
+func (p *Pool) cachedRun(n int) int { return n }
+
+// runBatch calls through the func-typed hook (unresolvable at the call
+// site) and dispatches through the interface-typed field (fans out).
+func (p *Pool) runBatch(n int) int {
+	p.sink.Emit(n)
+	return p.opts.Runner(n)
+}
+
+// spawnAll exercises every spawn shape: a literal, a closure captured
+// into a variable, a method value, and a named function.
+func (p *Pool) spawnAll(n int) {
+	go func() { p.runBatch(n) }()
+	work := func() { tally(n) }
+	go work()
+	go p.cachedRun(n)
+	go tally(n)
+}

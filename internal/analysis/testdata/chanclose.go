@@ -1,0 +1,133 @@
+// Fixture for the chanclose analyzer: double-close exposure, close/send
+// races, in-loop and receiver-side closes — next to the guarded shapes
+// (owning mutex, sync.Once, early-exit unlock) that are clean.
+package fixture
+
+import "sync"
+
+type Job struct {
+	st   int
+	done chan struct{}
+}
+
+// finish and abandon both close done with no guard: a cancel/finish race
+// double-closes and panics.
+func (j *Job) finish() {
+	j.st = 1
+	close(j.done) // want "serialize every close"
+}
+
+func (j *Job) abandon() {
+	j.st = 2
+	close(j.done) // want "serialize every close"
+}
+
+type Worker struct {
+	mu   sync.Mutex
+	quit chan struct{}
+}
+
+// stop and kill serialize their closes under the owning mutex: the state
+// machine makes them mutually exclusive.
+func (w *Worker) stop() {
+	w.mu.Lock()
+	close(w.quit)
+	w.mu.Unlock()
+}
+
+func (w *Worker) kill() {
+	w.mu.Lock()
+	close(w.quit)
+	w.mu.Unlock()
+}
+
+type Queue struct {
+	jobs chan int
+}
+
+// push sends unguarded while drain closes: send-on-closed-channel panics
+// under the worst interleaving.
+func (q *Queue) push(v int) {
+	q.jobs <- v
+}
+
+func (q *Queue) drain() {
+	close(q.jobs) // want "can race with a send"
+}
+
+// closeEach closes inside the loop: the second iteration panics.
+func closeEach(chans []chan int, results chan int) {
+	for range chans {
+		close(results) // want "inside a loop"
+	}
+}
+
+type Merger struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// produce owns the sending side.
+func (m *Merger) produce(v int) {
+	m.mu.Lock()
+	m.out <- v
+	m.mu.Unlock()
+}
+
+// consume only receives from out, yet closes it.
+func (m *Merger) consume() int {
+	m.mu.Lock()
+	v := <-m.out
+	close(m.out) // want "close belongs to the sending side"
+	m.mu.Unlock()
+	return v
+}
+
+type Conn struct {
+	once sync.Once
+	stop chan struct{}
+}
+
+// shutdown and halt are both idempotent by construction: the Once
+// serializes the close.
+func (c *Conn) shutdown() {
+	c.once.Do(func() { close(c.stop) })
+}
+
+func (c *Conn) halt() {
+	c.once.Do(func() { close(c.stop) })
+}
+
+type Pool struct {
+	mu       sync.Mutex
+	draining bool
+	queue    chan int
+}
+
+// submit sends under the mutex; the drain check releases only on its own
+// early-return path, so the send below still holds the lock.
+func (p *Pool) submit(v int) bool {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return false
+	}
+	select {
+	case p.queue <- v:
+		p.mu.Unlock()
+		return true
+	default:
+		p.mu.Unlock()
+		return false
+	}
+}
+
+// beginDrain closes under the same mutex: guarded on both sides, clean.
+func (p *Pool) beginDrain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+}

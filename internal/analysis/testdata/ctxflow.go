@@ -1,0 +1,101 @@
+// Fixture for the ctxflow analyzer. The fixture is its own whole program:
+// Coordinator.RunAll matches the registry root, and only functions the
+// call graph reaches from it are checked — idleLoop at the bottom is
+// deliberately broken and deliberately unreported.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Coordinator struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// RunAll is the request-path root (ctxflow registry).
+func (c *Coordinator) RunAll(ctx context.Context, jobs []int) int {
+	total := 0
+	for range jobs {
+		total += c.runOne(ctx)
+	}
+	c.drain(ctx)
+	c.fanOut(jobs)
+	c.waitElsewhere()
+	return total
+}
+
+// runOne hosts one violation of each blocking form, plus the sanctioned
+// shapes next to them.
+func (c *Coordinator) runOne(ctx context.Context) int {
+	data := make(chan int)
+	go func() {
+		select {
+		case data <- 1:
+		case <-ctx.Done():
+		}
+	}()
+	v := <-data                  // want "blocking receive"
+	data <- v                    // want "blocking send"
+	select {                     // want "neither a default case"
+	case v2 := <-data:
+		v += v2
+	case data <- v:
+	}
+	select { // ok: a cancelled request exits through Done
+	case v2 := <-data:
+		v += v2
+	case <-ctx.Done():
+	}
+	<-c.stop                     // ok: struct{} signal channel
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	return v
+}
+
+// drain shows the sanctioned shapes: buffered fan-in sends, a named spawn
+// handed a context, a Done-guarded select.
+func (c *Coordinator) drain(ctx context.Context) {
+	acks := make(chan int, 2)
+	go c.pump(ctx, acks)
+	acks <- 1 // ok: capacity covers every static send
+	acks <- 2
+	select {
+	case <-acks:
+	case <-ctx.Done():
+	}
+}
+
+// pump is reachable through the spawn edge; its loop exits on ctx.
+func (c *Coordinator) pump(ctx context.Context, acks chan int) {
+	for {
+		select {
+		case <-acks:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// fanOut spawns a goroutine no cancellation can reach, then waits on it.
+func (c *Coordinator) fanOut(jobs []int) {
+	sink := make(chan int, 1)
+	c.wg.Add(1)
+	go func() { // want "no context or stop-channel exit"
+		defer c.wg.Done()
+		sink <- len(jobs)
+	}()
+	c.wg.Wait() // want "can block forever"
+}
+
+// waitElsewhere waits on goroutines it did not spawn.
+func (c *Coordinator) waitElsewhere() {
+	c.wg.Wait() // want "spawned elsewhere"
+}
+
+// idleLoop is unreachable from the root: not ctxflow's concern.
+func idleLoop(ticks chan int) {
+	time.Sleep(time.Second)
+	<-ticks
+}

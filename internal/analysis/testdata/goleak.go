@@ -1,0 +1,60 @@
+// Fixture for the goleak analyzer: goroutine sends on channels the
+// spawner can abandon. The safe shapes — buffered past every send, or an
+// unconditional receive with no early return — bracket the three leaks.
+package fixture
+
+// neverReceived spawns a sender nobody listens to.
+func neverReceived(work func() int) {
+	done := make(chan int)
+	go func() {
+		done <- work() // want "never receives from it"
+	}()
+}
+
+// abandonable receives only inside a select racing another case: the
+// losing goroutine blocks forever.
+func abandonable(work func() int, timeout chan int) int {
+	out := make(chan int)
+	go func() {
+		out <- work() // want "can be abandoned"
+	}()
+	select {
+	case v := <-out:
+		return v
+	case <-timeout:
+		return 0
+	}
+}
+
+// earlyReturn can return between the spawn and the receive, stranding the
+// sender.
+func earlyReturn(work func() int, precheck func() error) (int, error) {
+	out := make(chan int)
+	go func() {
+		out <- work() // want "early return"
+	}()
+	if err := precheck(); err != nil {
+		return 0, err
+	}
+	return <-out, nil
+}
+
+// buffered is the sanctioned fan-in: capacity covers every static send,
+// so an abandoned result is just garbage-collected.
+func buffered(work func() int) int {
+	out := make(chan int, 2)
+	go func() {
+		out <- work()
+		out <- 0
+	}()
+	return <-out + <-out
+}
+
+// received commits to the receive unconditionally: nothing to flag.
+func received(work func() int) int {
+	out := make(chan int)
+	go func() {
+		out <- work()
+	}()
+	return <-out
+}

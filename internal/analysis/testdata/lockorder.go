@@ -1,0 +1,71 @@
+// Fixture for the lockorder analyzer: re-acquisition self-deadlocks,
+// lock-order cycles, and the early-exit unlock idiom the lexical replay
+// must model without inventing findings.
+package fixture
+
+import "sync"
+
+type Server struct {
+	mu   sync.Mutex
+	jobs int
+}
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// reacquire locks what it already holds.
+func (s *Server) reacquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want "acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// addJob calls a locking helper while holding the same lock.
+func (s *Server) addJob() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump() // want "may acquire"
+}
+
+// bump is safe on its own; the hazard is calling it under s.mu.
+func (s *Server) bump() {
+	s.mu.Lock()
+	s.jobs++
+	s.mu.Unlock()
+}
+
+// lockAB and lockBA acquire the two locks in opposite orders: the classic
+// two-goroutine deadlock under contention.
+func (s *Server) lockAB(st *Store) {
+	s.mu.Lock()
+	st.mu.Lock() // want "lock-order cycle"
+	st.n++
+	st.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Server) lockBA(st *Store) {
+	st.mu.Lock()
+	s.mu.Lock() // want "lock-order cycle"
+	s.jobs++
+	s.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// earlyExit releases only on the abandoned branch; the fall-through text
+// still holds the lock, and the helper call after the final unlock is
+// genuinely lock-free. Nothing to report.
+func (s *Server) earlyExit(stop bool) int {
+	s.mu.Lock()
+	if stop {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.jobs
+	s.mu.Unlock()
+	s.bump()
+	return n
+}

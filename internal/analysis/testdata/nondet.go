@@ -1,0 +1,105 @@
+// Fixture for the nondet-taint analyzer: wall-clock, global-rand, and
+// map-order values flowing — directly or through helpers — into result
+// fields, cache keys, and observability event streams. The sanctioned
+// sanitizers (injected-clock seams, collect-then-sort) sit alongside.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+// Result mirrors the simulator's result type by name: its field writes
+// are determinism sinks.
+type Result struct {
+	Cycles uint64
+	IPC    float64
+}
+
+// TraceSink mirrors an observability sink: Event arguments are sinks.
+type TraceSink struct{}
+
+func (TraceSink) Event(kind string, v float64) {}
+
+// ConfigKey mirrors the serving cache's content address.
+func ConfigKey(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+// stampResult writes the wall clock into a result field.
+func stampResult(r *Result, t0 time.Time) {
+	r.IPC = time.Since(t0).Seconds() // want "simulation result field IPC"
+}
+
+// hostSeconds launders the clock through a helper return value.
+func hostSeconds() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// recordHost stores a helper-computed wall-clock value: the taint
+// survives the call.
+func recordHost(r *Result) {
+	r.Cycles = uint64(hostSeconds()) // want "simulation result field Cycles"
+}
+
+// buildResult seeds a result literal from the ambient clock.
+func buildResult() Result {
+	return Result{Cycles: uint64(time.Now().UnixNano())} // want "simulation result field Cycles"
+}
+
+// joinUnsorted concatenates map entries in iteration order and emits the
+// order-dependent string.
+func joinUnsorted(m map[string]int, sink TraceSink) {
+	label := ""
+	for k := range m {
+		label += k
+	}
+	sink.Event(label, 0) // want "observability event stream"
+}
+
+// joinSorted collects then sorts: determinism restored, nothing to flag.
+func joinSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k
+	}
+	return out
+}
+
+// keyFromClock builds a cache key from the clock: identical configs stop
+// hitting the same entry.
+func keyFromClock(cfg string) string {
+	stamp := time.Now().String()
+	return ConfigKey(cfg, stamp) // want "cache key"
+}
+
+// Clock is the injected-clock seam: referencing time.Now is not calling
+// it, so wiring the seam stays clean.
+type Clock struct {
+	Now func() time.Time
+}
+
+// defaultClock wires the ambient clock into the seam; no value flows.
+func defaultClock() Clock {
+	return Clock{Now: time.Now}
+}
+
+// emit forwards its argument into the event stream: callers inherit the
+// sink through emit's summary.
+func emit(s TraceSink, v float64) {
+	s.Event("kips", v)
+}
+
+// reportClock sends a wall-clock reading through emit.
+func reportClock(s TraceSink) {
+	emit(s, float64(time.Now().UnixNano())) // want "determinism-sensitive sink inside"
+}

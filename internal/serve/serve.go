@@ -241,9 +241,12 @@ func (j *Job) finishQueued() {
 	}
 	j.state = StateCancelled
 	j.errMsg = context.Canceled.Error()
+	// Closed under j.mu so the terminal transition and the close are one
+	// atomic step: the state check above is what makes a second close
+	// impossible, and holding the lock keeps that locally checkable.
+	close(j.done)
 	j.mu.Unlock()
 	j.srv.cancelled.Add(1)
-	close(j.done)
 }
 
 // Status is the JSON snapshot of a job.
@@ -304,8 +307,10 @@ func (j *Job) finish(state JobState, err error) {
 	if err != nil {
 		j.errMsg = err.Error()
 	}
-	j.mu.Unlock()
+	// Closed under j.mu, paired with finishQueued: whichever transition
+	// wins the lock closes; the loser sees a terminal state and returns.
 	close(j.done)
+	j.mu.Unlock()
 }
 
 // Server owns the worker pool, the job registry, the result cache, and the

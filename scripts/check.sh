@@ -19,8 +19,16 @@ echo "==> simlint hot-path gate (hotalloc,exhaustive,fieldreset,sinkguard)"
 # analyzers must stay enabled and clean even if someone trims the default set.
 go run ./cmd/simlint -enable hotalloc,exhaustive,fieldreset,sinkguard ./...
 
+echo "==> simlint concurrency & determinism gate (ctxflow,goleak,lockorder,nondet-taint,chanclose)"
+# Same idea for the interprocedural dataflow analyzers: the serving and
+# dispatch stack must stay clean under them with no baseline file.
+go run ./cmd/simlint -enable ctxflow,goleak,lockorder,nondet-taint,chanclose ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench regression gate (BenchmarkMachine vs BENCH_machine.json)"
+./scripts/bench.sh check
 
 echo "==> observability smoke (loosim -intervals/-events | loopstat)"
 tmp=$(mktemp -d)
