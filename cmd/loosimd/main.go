@@ -25,12 +25,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"loosesim/internal/serve"
+	"loosesim/internal/trace"
 )
 
 func main() {
@@ -40,6 +42,9 @@ func main() {
 	cacheDir := flag.String("cache", "", "persist the result cache in this directory (default: in-memory)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	selfcheck := flag.Bool("selfcheck", false, "run one job through the HTTP API on a loopback port and exit")
+	traceFile := flag.String("trace", "", "append job lifecycle spans (JSONL) to this file; loostrace renders them")
+	traceSeed := flag.Int64("trace-seed", 1, "seed for deterministic trace IDs")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var store serve.Store
@@ -50,11 +55,31 @@ func main() {
 			log.Fatalf("loosimd: %v", err)
 		}
 	}
+	var tracer *trace.Tracer
+	var spanOut *trace.Writer
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("loosimd: %v", err)
+		}
+		spanOut = trace.NewWriter(f)
+		tracer = trace.New(trace.Options{Seed: *traceSeed, Now: time.Now, Sink: spanOut})
+		defer func() {
+			if err := spanOut.Flush(); err != nil {
+				log.Printf("loosimd: trace flush: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("loosimd: trace close: %v", err)
+			}
+		}()
+	}
+
 	srv := serve.New(serve.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Store:      store,
 		Now:        time.Now,
+		Tracer:     tracer,
 	})
 
 	if *selfcheck {
@@ -65,7 +90,20 @@ func main() {
 		return
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// pprof is opt-in: the profiling surface stays off the wire unless
+		// the operator asked for it.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	// main must not exit when ListenAndServe unblocks on Shutdown — the
@@ -145,6 +183,26 @@ func runSelfcheck(srv *serve.Server, drain time.Duration) error {
 	}
 	if len(m.Loops) == 0 {
 		return errors.New("metrics has no loop aggregates despite an events-enabled job")
+	}
+
+	// The Prometheus view of the same snapshot must parse as exposition
+	// text, and the JSON default above must be unaffected by its presence.
+	resp, err = http.Get(base + "/metrics?format=prom")
+	if err != nil {
+		return err
+	}
+	promText, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("prom metrics: %w", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		return fmt.Errorf("prom metrics content type = %q", ct)
+	}
+	if err := serve.CheckPromText(promText); err != nil {
+		return fmt.Errorf("prom metrics: %w", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)

@@ -54,6 +54,12 @@ var HotPathRoots = []string{
 	// and hedge across the whole fleet — hot enough that it must stay one
 	// atomic add plus a guarded interface call.
 	"Coordinator.emit",
+	// Span delivery runs on every traced stage transition across the
+	// fleet, and the call graph cannot see through the SpanSink
+	// interface — so both the delivering method and the production sink
+	// implementation are explicit roots.
+	"ActiveSpan.End",
+	"Writer.Span",
 }
 
 // SpawnSite records one goroutine spawn (`go f(...)` or `go func(){...}()`),

@@ -31,7 +31,8 @@ func SinkGuard() *Analyzer {
 		AppliesTo: func(pkgPath string) bool {
 			return strings.HasSuffix(pkgPath, "internal/pipeline") ||
 				strings.HasSuffix(pkgPath, "internal/serve") ||
-				strings.HasSuffix(pkgPath, "internal/dispatch")
+				strings.HasSuffix(pkgPath, "internal/dispatch") ||
+				strings.HasSuffix(pkgPath, "internal/trace")
 		},
 	}
 	a.Run = func(pass *Pass) {

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 	"loosesim"
 	"loosesim/internal/pipeline"
 	"loosesim/internal/serve"
+	"loosesim/internal/trace"
 )
 
 // Defaults for the zero Options values.
@@ -96,6 +98,12 @@ type Options struct {
 	// Events, when non-nil, receives one record per coordinator
 	// lifecycle event, on top of the always-on counters behind Metrics.
 	Events EventSink
+	// Tracer, when non-nil, records one trace per job: a root span plus
+	// children for every attempt, backoff wait, hedge, probe, and local
+	// fallback, with the trace propagated to backends via the
+	// Traceparent header. Nil (the default) disables tracing at the
+	// cost of one pointer compare per stage.
+	Tracer *trace.Tracer
 	// NoCache asks the backends to bypass their result caches.
 	NoCache bool
 	// Local, when non-nil, replaces loosesim.RunAllContext as the batch
@@ -129,6 +137,7 @@ type Coordinator struct {
 	localSem chan struct{} // bounds machines live during local fallback
 
 	events EventSink
+	tracer *trace.Tracer
 	counts [NumEventKinds]atomic.Uint64
 
 	jitter func() float64
@@ -165,6 +174,7 @@ func New(opts Options) (*Coordinator, error) {
 		opts:     opts,
 		client:   opts.Client,
 		events:   opts.Events,
+		tracer:   opts.Tracer,
 		jitter:   opts.Jitter,
 		after:    opts.After,
 		local:    opts.Local,
@@ -401,32 +411,47 @@ func (e *simError) Error() string { return e.msg }
 
 // runJob drives one configuration to a result: shard lookup, bounded
 // submission with hedging, jittered backoff across attempts, and local
-// fallback once the fleet is out of options.
+// fallback once the fleet is out of options. When tracing is on, the
+// whole journey hangs off one root span whose trace ID is a pure
+// function of the job key, and every stage — attempt, backoff wait,
+// hedge, local fallback — is a child, so a slow sweep decomposes into
+// stage delays exactly like an IPC loss decomposes into loop delays.
 func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Config) (*pipeline.Result, error) {
+	root := c.tracer.Root(key, "job")
+	defer root.End() // idempotent safety net: no path may leak the root
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
+			root.SetStatus("cancelled")
 			return nil, err
 		}
 		b := c.pick(key, -1)
 		if b < 0 {
 			break // nobody admitted; degrade now rather than spin
 		}
-		res, err := c.tryOnce(ctx, b, key, cfg)
+		res, err := c.tryOnce(ctx, b, key, cfg, root)
 		if err == nil {
+			root.SetStatus("ok")
 			return res, nil
 		}
 		var sim *simError
 		if errors.As(err, &sim) {
+			root.SetError(sim)
 			return nil, sim
 		}
 		if cerr := ctx.Err(); cerr != nil {
+			root.SetStatus("cancelled")
 			return nil, cerr
 		}
 		c.emit(EvRetry, b)
+		bsp := root.Child("backoff")
 		select {
 		case <-ctx.Done():
+			bsp.SetStatus("cancelled")
+			bsp.End()
+			root.SetStatus("cancelled")
 			return nil, ctx.Err()
 		case <-c.after(backoff(attempt, c.opts.BackoffBase, c.opts.BackoffCap, c.jitter())):
+			bsp.End()
 		}
 	}
 	// Every attempt failed (or no backend is admitted): run the point
@@ -434,7 +459,15 @@ func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Confi
 	// determinism contract, so the sweep's output does not depend on
 	// which path served it.
 	c.emit(EvLocalFallback, -1)
-	return c.runLocal(ctx, cfg)
+	lsp := root.Child("local")
+	res, err := c.runLocal(ctx, cfg)
+	lsp.SetError(err)
+	if err == nil {
+		lsp.SetWinner()
+	}
+	lsp.End()
+	root.SetError(err)
+	return res, err
 }
 
 // runLocal simulates one configuration on this host, bounded so a fleet
@@ -452,10 +485,18 @@ func (c *Coordinator) runLocal(ctx context.Context, cfg pipeline.Config) (*pipel
 // tryOnce submits one attempt against the primary backend, hedging a
 // duplicate onto a second backend if the primary is still silent after
 // the hedge delay. The first response wins; the loser's request is
-// cancelled.
-func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg pipeline.Config) (*pipeline.Result, error) {
+// cancelled. Attempt spans ("post") and hedge spans ("hedge") are
+// siblings under the job root; the span whose response the job used is
+// marked the winner.
+func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg pipeline.Config, root *trace.ActiveSpan) (*pipeline.Result, error) {
 	if c.opts.HedgeDelay <= 0 {
-		return c.post(ctx, primary, cfg)
+		sp := root.Child("post")
+		res, err := c.post(ctx, primary, cfg, sp)
+		if err == nil {
+			sp.SetWinner()
+		}
+		sp.End()
+		return res, err
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -463,11 +504,23 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 		res    *pipeline.Result
 		err    error
 		hedged bool
+		sp     *trace.ActiveSpan
 	}
+	// Spans for in-flight exchanges are created, appended, and ended only
+	// on this goroutine; End is idempotent, so the deferred sweep closes
+	// whatever an early return (cancellation) leaves open.
+	var open []*trace.ActiveSpan
+	defer func() {
+		for _, sp := range open {
+			sp.End()
+		}
+	}()
 	ch := make(chan outcome, 2) // both goroutines can always deliver
+	psp := root.Child("post")
+	open = append(open, psp)
 	go func() {
-		res, err := c.post(hctx, primary, cfg)
-		ch <- outcome{res: res, err: err}
+		res, err := c.post(hctx, primary, cfg, psp)
+		ch <- outcome{res: res, err: err, sp: psp}
 	}()
 	inFlight := 1
 	timer := c.after(c.opts.HedgeDelay)
@@ -482,9 +535,11 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 			}
 			c.emit(EvHedge, s)
 			inFlight++
+			hsp := root.Child("hedge")
+			open = append(open, hsp)
 			go func() {
-				res, err := c.post(hctx, s, cfg)
-				ch <- outcome{res: res, err: err, hedged: true}
+				res, err := c.post(hctx, s, cfg, hsp)
+				ch <- outcome{res: res, err: err, hedged: true, sp: hsp}
 			}()
 		case o := <-ch:
 			inFlight--
@@ -492,8 +547,11 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 				if o.hedged {
 					c.emit(EvHedgeWon, -1)
 				}
+				o.sp.SetWinner()
+				o.sp.End()
 				return o.res, nil
 			}
+			o.sp.End()
 			var sim *simError
 			if errors.As(o.err, &sim) {
 				return nil, o.err // permanent: the duplicate would fail identically
@@ -512,9 +570,18 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 
 // post runs one request against backend b under its in-flight window and
 // maps the response to a result, a permanent simError, or a transient
-// (counted) backend failure.
-func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config) (*pipeline.Result, error) {
+// (counted) backend failure. The attempt span records the shard
+// assignment (Target) and the outcome; the backend continues the trace
+// from the propagated Traceparent header. post never ends sp — the
+// caller does, because only it knows whether this attempt won.
+func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config, sp *trace.ActiveSpan) (res *pipeline.Result, err error) {
 	bk := c.backends[b]
+	// The target is the ring ordinal, not the URL: shard assignment is a
+	// pure function of the key, so the ordinal keeps span streams
+	// byte-identical across runs even when test fleets sit on ephemeral
+	// loopback ports. Metrics maps ordinals back to URLs.
+	sp.SetTarget(backendName(b))
+	defer func() { sp.SetError(err) }()
 	select {
 	case bk.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -535,6 +602,9 @@ func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config) (*pi
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp := trace.Format(sp.Context()); tp != "" {
+		req.Header.Set(trace.TraceparentHeader, tp)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, c.failOrCtx(ctx, b, err)
@@ -551,6 +621,7 @@ func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config) (*pi
 		c.ok(b)
 		if st.Cached {
 			c.emit(EvCacheHit, b)
+			sp.SetDetail("cache-hit")
 		}
 		return st.Result, nil
 	case serve.StateFailed:
@@ -581,6 +652,11 @@ func decodeStatus(resp *http.Response) (serve.Status, error) {
 	return st, nil
 }
 
+// backendName is the stable span-target name for ring ordinal b.
+func backendName(b int) string {
+	return "backend-" + strconv.Itoa(b)
+}
+
 // probeLoop sweeps /healthz on the period configured by ProbeInterval
 // until Close.
 func (c *Coordinator) probeLoop() {
@@ -596,39 +672,69 @@ func (c *Coordinator) probeLoop() {
 }
 
 // probeAll checks every backend once: a 200 readmits (and resets the
-// failure streak); anything else counts toward ejection.
+// failure streak); anything else counts toward ejection. Each sweep is
+// its own trace (key "probe"), one child span per backend probed.
 func (c *Coordinator) probeAll() {
+	root := c.tracer.Root("probe", "probe-sweep")
+	defer root.End()
 	for i := range c.backends {
 		select {
 		case <-c.stop:
 			return
 		default:
 		}
-		c.probe(i)
+		c.probe(i, root)
 	}
 }
 
-// probe runs one bounded /healthz exchange against backend b.
-func (c *Coordinator) probe(b int) {
+// probe runs one bounded /healthz exchange against backend b. The span
+// records the health transition the probe caused: "eject" when the
+// failure streak removed b from the ring, "readmit" when a recovery
+// restored it.
+func (c *Coordinator) probe(b int, parent *trace.ActiveSpan) {
+	bk := c.backends[b]
+	sp := parent.Child("probe")
+	sp.SetTarget(backendName(b))
+	defer sp.End()
+	wasDown := bk.down.Load()
 	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.backends[b].url+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, bk.url+"/healthz", nil)
 	if err != nil {
+		sp.SetError(err)
 		return
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		_ = c.fail(b, err) // a probe timeout is a real failure, unlike a cancelled job request
+		sp.SetError(err)
+		if !wasDown && bk.down.Load() {
+			sp.SetStatus("eject")
+		}
 		return
 	}
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if cerr := resp.Body.Close(); cerr != nil {
 		_ = c.fail(b, cerr)
+		sp.SetError(cerr)
+		if !wasDown && bk.down.Load() {
+			sp.SetStatus("eject")
+		}
 		return
 	}
 	if resp.StatusCode != http.StatusOK {
-		_ = c.fail(b, fmt.Errorf("dispatch: healthz status %d", resp.StatusCode))
+		err := fmt.Errorf("dispatch: healthz status %d", resp.StatusCode)
+		_ = c.fail(b, err)
+		sp.SetError(err)
+		if !wasDown && bk.down.Load() {
+			sp.SetStatus("eject")
+		}
 		return
 	}
 	c.ok(b)
+	if wasDown {
+		sp.SetStatus("readmit")
+	} else {
+		sp.SetStatus("ok")
+	}
 }

@@ -1,6 +1,9 @@
 package dispatch
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // EventKind names one coordinator lifecycle event. The kinds double as the
 // coordinator's counter set: every emitted event increments its kind's
@@ -53,6 +56,36 @@ func (k EventKind) String() string {
 		return eventKindNames[k]
 	}
 	return fmt.Sprintf("dispatch-event(%d)", int(k))
+}
+
+// ParseEventKind inverts EventKind.String.
+func ParseEventKind(s string) (EventKind, error) {
+	for i, n := range eventKindNames {
+		if n == s {
+			return EventKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("dispatch: unknown event kind %q", s)
+}
+
+// MarshalJSON encodes the kind by name, keeping event output
+// self-describing and stable against reorderings of the constants.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, k.String()), nil
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return fmt.Errorf("dispatch: bad event kind %s: %w", b, err)
+	}
+	parsed, err := ParseEventKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // Event is one coordinator lifecycle record.

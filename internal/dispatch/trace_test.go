@@ -1,0 +1,268 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"loosesim/internal/pipeline"
+	"loosesim/internal/serve"
+	"loosesim/internal/serve/servetest"
+	"loosesim/internal/trace"
+)
+
+// TestTraceRetrySiblingSpans drives one job through two scripted transport
+// failures and checks the span tree: one trace, one root, three sibling
+// post attempts of which only the last is the winner, and a backoff span
+// per retry wait.
+func TestTraceRetrySiblingSpans(t *testing.T) {
+	b := servetest.StartBackend(serve.Options{Workers: 1})
+	defer b.Close()
+
+	tr := &servetest.Tripper{}
+	tr.Script(
+		servetest.FaultSpec{Fault: servetest.DropConn},
+		servetest.FaultSpec{Fault: servetest.DropConn},
+	)
+	var sink trace.Collector
+	tracer := trace.New(trace.Options{Seed: 1, Sink: &sink})
+	clock := &instantClock{park: parkProbes}
+	c, err := New(Options{
+		Backends:      []string{b.URL},
+		Client:        &http.Client{Transport: tr},
+		Attempts:      4,
+		BackoffBase:   50 * time.Millisecond,
+		BackoffCap:    2 * time.Second,
+		ProbeInterval: parkProbes,
+		Jitter:        func() float64 { return 0 },
+		After:         clock.After,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cfgs := []pipeline.Config{testCfg(t, "gcc", 7)}
+	if _, err := c.RunAll(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := tracer.Open(); n != 0 {
+		t.Fatalf("open spans after RunAll = %d, want 0", n)
+	}
+
+	spans := sink.Spans()
+	traceID := spans[0].Trace
+	var posts, backoffs, winners int
+	var root trace.Span
+	for _, s := range spans {
+		if s.Trace != traceID {
+			t.Fatalf("second trace ID %s in a one-job run (first %s)", s.Trace, traceID)
+		}
+		switch s.Name {
+		case "job":
+			root = s
+		case "post":
+			posts++
+			if s.Parent != root.Span {
+				t.Fatalf("post span parent = %d, want root %d", s.Parent, root.Span)
+			}
+			if s.Winner {
+				winners++
+				if s.Status != "ok" {
+					t.Fatalf("winning post status = %q, want ok", s.Status)
+				}
+			} else if s.Status != "error" {
+				t.Fatalf("failed post status = %q, want error", s.Status)
+			}
+		case "backoff":
+			backoffs++
+		}
+	}
+	if root.Span != 1 || root.Status != "ok" {
+		t.Fatalf("root span = %+v, want span 1 status ok", root)
+	}
+	if posts != 3 || backoffs != 2 || winners != 1 {
+		t.Fatalf("posts = %d backoffs = %d winners = %d, want 3, 2, 1", posts, backoffs, winners)
+	}
+}
+
+// TestTraceHedgeWinnerMarked hangs the key's owner so the hedge wins, and
+// checks the hedge span alone carries the winner flag while the cancelled
+// primary's span still closes.
+func TestTraceHedgeWinnerMarked(t *testing.T) {
+	backends, closeAll := servetest.StartBackends(2, serve.Options{Workers: 1})
+	defer closeAll()
+	urls := servetest.URLs(backends)
+
+	cfgs := []pipeline.Config{testCfg(t, "swim", 3)}
+	key, err := serve.ConfigKey(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sink trace.Collector
+	tracer := trace.New(trace.Options{Seed: 1, Sink: &sink})
+	clock := &instantClock{park: parkProbes}
+	tr := &servetest.Tripper{}
+	c, err := New(Options{
+		Backends:      urls,
+		Client:        &http.Client{Transport: tr},
+		HedgeDelay:    77 * time.Millisecond,
+		ProbeInterval: parkProbes,
+		Jitter:        func() float64 { return 0 },
+		After:         clock.After,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	primary := c.pick(key, -1)
+	if primary < 0 {
+		t.Fatal("no primary")
+	}
+	primaryHost := strings.TrimPrefix(urls[primary], "http://")
+	tr.Match = func(r *http.Request) bool { return r.URL.Host == primaryHost }
+	tr.Script(servetest.FaultSpec{Fault: servetest.Hang})
+
+	if _, err := c.RunAll(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := tracer.Open(); n != 0 {
+		t.Fatalf("open spans after hedged RunAll = %d, want 0", n)
+	}
+
+	var postSeen, hedgeSeen bool
+	for _, s := range sink.Spans() {
+		switch s.Name {
+		case "post":
+			postSeen = true
+			if s.Winner {
+				t.Fatal("hung primary marked winner")
+			}
+		case "hedge":
+			hedgeSeen = true
+			if !s.Winner || s.Status != "ok" {
+				t.Fatalf("hedge span = %+v, want winner with status ok", s)
+			}
+		}
+	}
+	if !postSeen || !hedgeSeen {
+		t.Fatalf("post/hedge spans missing (post=%v hedge=%v)", postSeen, hedgeSeen)
+	}
+}
+
+// TestTraceStreamByteIdentical runs the same faulted single-job scenario
+// twice — fresh backend, coordinator, and writer each time, with a
+// constant injected clock — and demands byte-identical span streams.
+func TestTraceStreamByteIdentical(t *testing.T) {
+	run := func() []byte {
+		b := servetest.StartBackend(serve.Options{Workers: 1})
+		defer b.Close()
+		tr := &servetest.Tripper{}
+		tr.Script(servetest.FaultSpec{Fault: servetest.Status500})
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		tracer := trace.New(trace.Options{
+			Seed: 9,
+			Now:  func() time.Time { return time.Unix(0, 424242) },
+			Sink: w,
+		})
+		clock := &instantClock{park: parkProbes}
+		c, err := New(Options{
+			Backends:      []string{b.URL},
+			Client:        &http.Client{Transport: tr},
+			Attempts:      3,
+			BackoffBase:   time.Millisecond,
+			ProbeInterval: parkProbes,
+			Jitter:        func() float64 { return 0 },
+			After:         clock.After,
+			Tracer:        tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cfgs := []pipeline.Config{testCfg(t, "comp", 5)}
+		if _, err := c.RunAll(context.Background(), cfgs); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := run()
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("span streams differ across identical runs:\n%s\nvs\n%s", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("empty span stream")
+	}
+}
+
+// TestTraceOffCountersIdentical runs the same scenario with tracing on and
+// off and demands identical coordinator metrics — tracing must observe,
+// never steer.
+func TestTraceOffCountersIdentical(t *testing.T) {
+	run := func(tracer *trace.Tracer) Metrics {
+		b := servetest.StartBackend(serve.Options{Workers: 1})
+		defer b.Close()
+		tr := &servetest.Tripper{}
+		tr.Script(
+			servetest.FaultSpec{Fault: servetest.DropConn},
+			servetest.FaultSpec{Fault: servetest.Status500},
+		)
+		clock := &instantClock{park: parkProbes}
+		c, err := New(Options{
+			Backends:      []string{b.URL},
+			Client:        &http.Client{Transport: tr},
+			Attempts:      4,
+			BackoffBase:   time.Millisecond,
+			ProbeInterval: parkProbes,
+			Jitter:        func() float64 { return 0 },
+			After:         clock.After,
+			Tracer:        tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cfgs := []pipeline.Config{testCfg(t, "gcc", 2), testCfg(t, "swim", 2)}
+		if _, err := c.RunAll(context.Background(), cfgs); err != nil {
+			t.Fatal(err)
+		}
+		m := c.Metrics()
+		// Loopback ports differ between the two fleets; the counters are
+		// what must match.
+		for i := range m.Backends {
+			m.Backends[i].URL = ""
+		}
+		return m
+	}
+
+	var sink trace.Collector
+	on := run(trace.New(trace.Options{Seed: 1, Sink: &sink}))
+	off := run(nil)
+	onJSON, err := json.Marshal(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offJSON, err := json.Marshal(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onJSON, offJSON) {
+		t.Fatalf("metrics diverge with tracing on:\non:  %s\noff: %s", onJSON, offJSON)
+	}
+	if len(sink.Spans()) == 0 {
+		t.Fatal("tracing-on run recorded no spans")
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
+
+	"loosesim/internal/trace"
 )
 
 // Handler returns the service's HTTP API:
@@ -53,7 +56,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(spec)
+	// A coordinator-supplied Traceparent header links this job's spans
+	// into the submitting attempt's trace. Malformed headers are ignored
+	// (Parse rejects them), not errors: tracing is advisory.
+	parent, _ := trace.Parse(r.Header.Get(trace.TraceparentHeader))
+	job, err := s.SubmitTraced(spec, parent)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
@@ -106,8 +113,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteProm(w, s.Metrics()); err != nil {
+			_ = err // header committed; the client sees the truncation
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// wantsProm reports whether the request asked for Prometheus text
+// exposition, either explicitly (?format=prom) or by content negotiation.
+// Clients that send no Accept header (http.Get, the existing JSON golden
+// tests) keep getting JSON.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

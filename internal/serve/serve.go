@@ -26,6 +26,7 @@ import (
 	"loosesim/internal/obs"
 	"loosesim/internal/pipeline"
 	"loosesim/internal/stats"
+	"loosesim/internal/trace"
 	"loosesim/internal/workload"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	// injects time.Now; nil disables wall-time metrics (internal
 	// packages never read the clock themselves).
 	Now func() time.Time
+	// Tracer, when non-nil, records one span tree per job — queue wait,
+	// cache lookups, the run itself — continuing a coordinator's trace
+	// when the submission carried a Traceparent header. Nil (the
+	// default) disables tracing at the cost of one pointer compare per
+	// stage.
+	Tracer *trace.Tracer
 }
 
 // DefaultQueueDepth is the queue bound when Options.QueueDepth is not set.
@@ -203,6 +210,15 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// span is the job's whole-lifecycle span; queueSpan covers
+	// enqueue-to-pickup. Both are set before the job is shared and only
+	// ever ended after that (End and the setters are idempotent and
+	// internally locked), so no path — cancel while queued, client
+	// disconnect, cache fast path, worker completion — can leak or race
+	// an open span.
+	span      *trace.ActiveSpan
+	queueSpan *trace.ActiveSpan
+
 	mu      sync.Mutex
 	state   JobState
 	cached  bool
@@ -241,12 +257,25 @@ func (j *Job) finishQueued() {
 	}
 	j.state = StateCancelled
 	j.errMsg = context.Canceled.Error()
+	j.closeSpans(StateCancelled)
 	// Closed under j.mu so the terminal transition and the close are one
 	// atomic step: the state check above is what makes a second close
 	// impossible, and holding the lock keeps that locally checkable.
 	close(j.done)
 	j.mu.Unlock()
 	j.srv.cancelled.Add(1)
+}
+
+// closeSpans ends whatever lifecycle spans the job still holds open. Called
+// under j.mu just before done closes, so a waiter that observes the
+// terminal state is guaranteed every span has reached the sink; the span
+// methods are idempotent, so a queue span already ended at worker pickup
+// (or never opened, on the cache fast path) is untouched.
+func (j *Job) closeSpans(state JobState) {
+	j.queueSpan.SetStatus(string(state))
+	j.queueSpan.End()
+	j.span.SetStatus(string(state))
+	j.span.End()
 }
 
 // Status is the JSON snapshot of a job.
@@ -289,6 +318,10 @@ func (j *Job) setRunning() bool {
 		return false
 	}
 	j.state = StateRunning
+	// The queue wait ends at pickup; terminal paths that never reach a
+	// worker close it via closeSpans instead.
+	j.queueSpan.SetStatus("ok")
+	j.queueSpan.End()
 	return true
 }
 
@@ -307,6 +340,7 @@ func (j *Job) finish(state JobState, err error) {
 	if err != nil {
 		j.errMsg = err.Error()
 	}
+	j.closeSpans(state)
 	// Closed under j.mu, paired with finishQueued: whichever transition
 	// wins the lock closes; the loser sees a terminal state and returns.
 	close(j.done)
@@ -387,6 +421,15 @@ func New(opts Options) *Server {
 // Submit validates and enqueues a job. Single-simulation jobs that hit the
 // cache complete immediately without occupying a worker.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitTraced(spec, trace.SpanContext{})
+}
+
+// SubmitTraced is Submit continuing a caller-supplied trace: when parent is
+// non-zero (decoded from a Traceparent header), the job's spans join the
+// coordinator's trace instead of starting a fresh one. Validation failures
+// happen before any span opens — rejected specs never become jobs, so they
+// never appear in traces either.
+func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, error) {
 	kinds := 0
 	if spec.Bench != "" {
 		kinds++
@@ -419,9 +462,25 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		}
 	}
 
+	// The serve span continues the coordinator's trace when the submission
+	// carried one; otherwise it roots a fresh trace keyed by the job's
+	// content address (or figure name), so repeated runs of the same sweep
+	// produce the same trace IDs.
+	var jsp *trace.ActiveSpan
+	if parent.Trace != "" {
+		jsp = s.opts.Tracer.Continue(parent, "serve")
+	} else if key != "" {
+		jsp = s.opts.Tracer.Root(key, "serve")
+	} else {
+		jsp = s.opts.Tracer.Root("figure:"+spec.Figure, "serve")
+	}
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		jsp.SetStatus("rejected")
+		jsp.SetDetail(ErrDraining.Error())
+		jsp.End()
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -430,6 +489,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		spec:  spec,
 		key:   key,
 		srv:   s,
+		span:  jsp,
 		state: StateQueued,
 		done:  make(chan struct{}),
 	}
@@ -442,7 +502,10 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	// Cache fast path: a hit needs no worker, no queue slot, and no
 	// construction — the whole point of content addressing.
 	if key != "" && !spec.NoCache {
+		csp := jsp.Child("cache")
 		if res, ok, err := s.store.Get(key); err == nil && ok {
+			csp.SetStatus("hit")
+			csp.End()
 			s.jobs[job.id] = job
 			s.order = append(s.order, job.id)
 			s.mu.Unlock()
@@ -457,8 +520,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			job.finish(StateDone, nil)
 			return job, nil
 		}
+		csp.SetStatus("miss")
+		csp.End()
 	}
 
+	job.queueSpan = jsp.Child("queue")
 	select {
 	case s.queue <- job:
 		s.jobs[job.id] = job
@@ -470,6 +536,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		job.cancel()
+		job.queueSpan.SetStatus("rejected")
+		job.queueSpan.End()
+		jsp.SetStatus("rejected")
+		jsp.SetDetail(ErrQueueFull.Error())
+		jsp.End()
 		return nil, ErrQueueFull
 	}
 }
@@ -566,7 +637,12 @@ func (s *Server) runSim(job *Job) uint64 {
 		return 0
 	}
 	if !job.spec.NoCache {
+		// Second cache lookup, spanned like the first: a sibling job may
+		// have populated the key while this one sat in the queue.
+		csp := job.span.Child("cache")
 		if res, ok, err := s.store.Get(job.key); err == nil && ok {
+			csp.SetStatus("hit")
+			csp.End()
 			s.cstats.hits.Add(1)
 			job.mu.Lock()
 			job.cached = true
@@ -576,13 +652,18 @@ func (s *Server) runSim(job *Job) uint64 {
 			s.completed.Add(1)
 			return 0 // no simulation ran; keep KIPS honest
 		}
+		csp.SetStatus("miss")
+		csp.End()
 		s.cstats.misses.Add(1)
 	}
 	if job.spec.Events {
 		cfg.Events = &jobEventSink{server: s}
 	}
+	rsp := job.span.Child("run")
 	m, err := pipeline.New(cfg)
 	if err != nil {
+		rsp.SetError(err)
+		rsp.End()
 		job.finish(StateFailed, err)
 		s.failed.Add(1)
 		return 0
@@ -590,11 +671,17 @@ func (s *Server) runSim(job *Job) uint64 {
 	res, err := m.RunContext(job.ctx)
 	switch {
 	case err == nil:
+		rsp.SetStatus("ok")
+		rsp.End()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		rsp.SetStatus("cancelled")
+		rsp.End()
 		job.finish(StateCancelled, err)
 		s.cancelled.Add(1)
 		return 0
 	default: // ErrCycleBudget and anything else the pipeline reports
+		rsp.SetError(err)
+		rsp.End()
 		job.finish(StateFailed, err)
 		s.failed.Add(1)
 		return 0
@@ -640,14 +727,21 @@ func (s *Server) runFigure(job *Job) uint64 {
 		}
 		return results, nil
 	}
+	rsp := job.span.Child("run")
 	table, err := fig(opt)
 	switch {
 	case err == nil:
+		rsp.SetStatus("ok")
+		rsp.End()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		rsp.SetStatus("cancelled")
+		rsp.End()
 		job.finish(StateCancelled, err)
 		s.cancelled.Add(1)
 		return 0
 	default:
+		rsp.SetError(err)
+		rsp.End()
 		job.finish(StateFailed, err)
 		s.failed.Add(1)
 		return 0

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"loosesim/internal/trace"
+)
+
+// tracedServer builds a one-worker server with a collecting tracer.
+func tracedServer(workers int) (*Server, *trace.Collector, *trace.Tracer) {
+	var sink trace.Collector
+	tracer := trace.New(trace.Options{Seed: 1, Sink: &sink})
+	return New(Options{Workers: workers, Tracer: tracer}), &sink, tracer
+}
+
+// spansByTrace groups collected spans per trace ID.
+func spansByTrace(spans []trace.Span) map[string][]trace.Span {
+	out := make(map[string][]trace.Span)
+	for _, s := range spans {
+		out[s.Trace] = append(out[s.Trace], s)
+	}
+	return out
+}
+
+// TestTraceSpansCloseOnTerminalPaths extends the PR 5 regressions to the
+// span lifecycle: every terminal path — cancel while queued, normal
+// completion, the cache fast path — must close the spans it opened, so a
+// drained server holds zero open spans.
+func TestTraceSpansCloseOnTerminalPaths(t *testing.T) {
+	srv, sink, tracer := tracedServer(1)
+	defer srv.Close()
+
+	blocker := occupyWorker(t, srv, 1)
+	queued, err := srv.Submit(JobSpec{Bench: "gcc", Seed: 2, Warmup: new(uint64), Inst: 1 << 40, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Cancel()
+	<-queued.Done()
+
+	// closeSpans runs before Done closes: the cancelled job's spans are
+	// already delivered and closed here, with only the blocker's in
+	// flight.
+	if n := tracer.Open(); n != 2 { // blocker's serve span + run span
+		t.Fatalf("open spans with one running job = %d, want 2", n)
+	}
+	cancelledTrace := ""
+	for id, spans := range spansByTrace(sink.Spans()) {
+		for _, s := range spans {
+			if s.Name == "serve" && s.Status == string(StateCancelled) {
+				cancelledTrace = id
+			}
+		}
+	}
+	if cancelledTrace == "" {
+		t.Fatal("cancelled-while-queued job left no cancelled serve span")
+	}
+	var sawQueue bool
+	for _, s := range spansByTrace(sink.Spans())[cancelledTrace] {
+		if s.Name == "queue" {
+			sawQueue = true
+			if s.Status != string(StateCancelled) {
+				t.Fatalf("queue span status = %q, want cancelled", s.Status)
+			}
+		}
+	}
+	if !sawQueue {
+		t.Fatal("cancelled trace has no queue span")
+	}
+
+	blocker.Cancel()
+	<-blocker.Done()
+
+	// Cache fast path: run a small job to completion, then resubmit; the
+	// hit must open and close a cache span with no queue span at all.
+	done, err := srv.Submit(JobSpec{Bench: "gcc", Seed: 3, Warmup: new(uint64), Inst: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done.Done()
+	if st := done.Status(); st.State != StateDone {
+		t.Fatalf("job state = %q (%s)", st.State, st.Error)
+	}
+	hit, err := srv.Submit(JobSpec{Bench: "gcc", Seed: 3, Warmup: new(uint64), Inst: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hit.Done()
+	if st := hit.Status(); !st.Cached {
+		t.Fatalf("repeat submission not served from cache: %+v", st)
+	}
+
+	if n := tracer.Open(); n != 0 {
+		t.Fatalf("open spans after all jobs terminal = %d, want 0", n)
+	}
+
+	var hitTrace []trace.Span
+	for _, spans := range spansByTrace(sink.Spans()) {
+		for _, s := range spans {
+			if s.Name == "cache" && s.Status == "hit" {
+				hitTrace = spans
+			}
+		}
+	}
+	if hitTrace == nil {
+		t.Fatal("cache fast path produced no hit span")
+	}
+	for _, s := range hitTrace {
+		if s.Name == "queue" {
+			t.Fatalf("cache fast path trace contains a queue span: %+v", s)
+		}
+	}
+}
+
+// TestTraceSpanClosedOnDisconnectWhileQueued drives the ?wait=1 disconnect
+// regression with tracing on: the dropped client's job must close its spans
+// under the trace the submission's Traceparent header named.
+func TestTraceSpanClosedOnDisconnectWhileQueued(t *testing.T) {
+	srv, sink, tracer := tracedServer(1)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	blocker := occupyWorker(t, srv, 1)
+	defer blocker.Cancel()
+
+	parent := trace.SpanContext{Trace: strings.Repeat("ab", 16), Span: 0x101}
+	spec, err := json.Marshal(JobSpec{Bench: "gcc", Seed: 2, Warmup: new(uint64), Inst: 1 << 40, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/api/v1/jobs?wait=1", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.TraceparentHeader, trace.Format(parent))
+	errc := make(chan error, 1)
+	go func() {
+		resp, derr := http.DefaultClient.Do(req)
+		if derr == nil {
+			derr = resp.Body.Close()
+		}
+		errc <- derr
+	}()
+
+	var queued *Job
+	for i := 0; i < 500 && queued == nil; i++ {
+		for _, st := range srv.Jobs() {
+			if st.ID != blocker.ID() {
+				j, ok := srv.Job(st.ID)
+				if !ok {
+					t.Fatalf("job %s listed but not found", st.ID)
+				}
+				queued = j
+			}
+		}
+		if queued == nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if queued == nil {
+		t.Fatal("queued job never appeared")
+	}
+
+	cancel()
+	if derr := <-errc; derr == nil {
+		t.Fatal("disconnected request reported success")
+	}
+	select {
+	case <-queued.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("disconnected client's queued job was not cancelled promptly")
+	}
+
+	var serveSpan trace.Span
+	for _, s := range spansByTrace(sink.Spans())[parent.Trace] {
+		if s.Name == "serve" {
+			serveSpan = s
+		}
+	}
+	if serveSpan.Span == 0 {
+		t.Fatalf("no serve span under the propagated trace %s", parent.Trace)
+	}
+	if serveSpan.Parent != parent.Span {
+		t.Fatalf("serve span parent = %d, want the header's span %d", serveSpan.Parent, parent.Span)
+	}
+	if serveSpan.Status != string(StateCancelled) {
+		t.Fatalf("serve span status = %q, want cancelled", serveSpan.Status)
+	}
+	// The blocker holds its serve and run spans open; anything above two
+	// is a leak from the disconnected job.
+	if n := tracer.Open(); n != 2 {
+		t.Fatalf("open spans with one running blocker = %d, want 2", n)
+	}
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDDeterministic(t *testing.T) {
+	a := traceID(1, "key-a", 0)
+	if len(a) != 32 {
+		t.Fatalf("trace ID length = %d, want 32", len(a))
+	}
+	if b := traceID(1, "key-a", 0); b != a {
+		t.Fatalf("same inputs produced different trace IDs: %s vs %s", a, b)
+	}
+	for _, other := range []string{
+		traceID(1, "key-a", 1), // next occurrence
+		traceID(1, "key-b", 0), // other key
+		traceID(2, "key-a", 0), // other seed
+	} {
+		if other == a {
+			t.Fatalf("distinct inputs collided on trace ID %s", a)
+		}
+	}
+}
+
+func TestRootOccurrenceAdvances(t *testing.T) {
+	var c Collector
+	tr := New(Options{Seed: 1, Sink: &c})
+	first := tr.Root("k", "job")
+	second := tr.Root("k", "job")
+	if first.Context().Trace == second.Context().Trace {
+		t.Fatal("two traces for the same key share an ID")
+	}
+	first.End()
+	second.End()
+
+	// A fresh tracer with the same seed replays the same IDs in order.
+	var c2 Collector
+	tr2 := New(Options{Seed: 1, Sink: &c2})
+	if got := tr2.Root("k", "job").Context().Trace; got != first.Context().Trace {
+		t.Fatalf("replayed first trace ID = %s, want %s", got, first.Context().Trace)
+	}
+}
+
+func TestChildIDsEncodeTreePath(t *testing.T) {
+	var c Collector
+	tr := New(Options{Seed: 1, Sink: &c})
+	root := tr.Root("k", "job")
+	k1 := root.Child("post")
+	k2 := root.Child("backoff")
+	g1 := k1.Child("x")
+	if id := root.Context().Span; id != 1 {
+		t.Fatalf("root span ID = %d, want 1", id)
+	}
+	if id := k1.Context().Span; id != 256+1 {
+		t.Fatalf("first child ID = %d, want %d", id, 256+1)
+	}
+	if id := k2.Context().Span; id != 256+2 {
+		t.Fatalf("second child ID = %d, want %d", id, 256+2)
+	}
+	if id := g1.Context().Span; id != (256+1)*256+1 {
+		t.Fatalf("grandchild ID = %d, want %d", id, (256+1)*256+1)
+	}
+	for _, sp := range []*ActiveSpan{g1, k1, k2, root} {
+		sp.End()
+	}
+	if n := tr.Open(); n != 0 {
+		t.Fatalf("open spans after ending all = %d", n)
+	}
+}
+
+func TestContinueMatchesRemoteChild(t *testing.T) {
+	var c Collector
+	tr := New(Options{Seed: 7, Sink: &c})
+	root := tr.Root("k", "job")
+	post := root.Child("post")
+
+	header := Format(post.Context())
+	sc, ok := Parse(header)
+	if !ok {
+		t.Fatalf("Parse(%q) failed", header)
+	}
+	if sc != post.Context() {
+		t.Fatalf("round-tripped context = %+v, want %+v", sc, post.Context())
+	}
+
+	var backendSink Collector
+	backend := New(Options{Seed: 99, Sink: &backendSink}) // seed must not matter for continuations
+	srv := backend.Continue(sc, "serve")
+	if got := srv.Context().Trace; got != root.Context().Trace {
+		t.Fatalf("continued trace = %s, want %s", got, root.Context().Trace)
+	}
+	if got, want := srv.Context().Span, childID(post.Context().Span, 1); got != want {
+		t.Fatalf("continued span ID = %d, want %d", got, want)
+	}
+	srv.End()
+	post.End()
+	root.End()
+	spans := backendSink.Spans()
+	if len(spans) != 1 || spans[0].Parent != post.Context().Span {
+		t.Fatalf("backend spans = %+v, want one child of the post span", spans)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-0000000000000001-01",
+		"01-00000000000000000000000000000000-0000000000000001-01", // foreign version
+		"00-zz000000000000000000000000000000-0000000000000001-01",
+		"00-00000000000000000000000000000000-zz00000000000001-01",
+		"00-00000000000000000000000000000000-0000000000000000-01", // zero span
+		"00-00000000000000000000000000000000-0000000000000001",
+	}
+	for _, s := range bad {
+		if _, ok := Parse(s); ok {
+			t.Errorf("Parse(%q) accepted a malformed header", s)
+		}
+	}
+	if got := Format(SpanContext{}); got != "" {
+		t.Errorf("Format(zero) = %q, want empty", got)
+	}
+}
+
+func TestNilTracerIsFreeAndSafe(t *testing.T) {
+	var tr *Tracer
+	root := tr.Root("k", "job")
+	child := root.Child("post")
+	child.SetTarget("x")
+	child.SetStatus("ok")
+	child.SetError(errors.New("boom"))
+	child.SetWinner()
+	child.End()
+	root.End()
+	if sc := child.Context(); sc != (SpanContext{}) {
+		t.Fatalf("nil span context = %+v, want zero", sc)
+	}
+	if n := tr.Open(); n != 0 {
+		t.Fatalf("nil tracer open = %d", n)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Root("k", "job")
+		c := sp.Child("post")
+		c.SetStatus("ok")
+		c.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("tracing-off path allocates %v allocs/op, want 0", allocs)
+	}
+
+	if got := New(Options{}); got != nil {
+		t.Fatal("New with no sink must return the nil (off) tracer")
+	}
+}
+
+func TestEndIdempotentAndSettersDropAfterEnd(t *testing.T) {
+	var c Collector
+	tr := New(Options{Seed: 1, Sink: &c})
+	sp := tr.Root("k", "job")
+	sp.SetStatus("ok")
+	sp.End()
+	sp.SetStatus("late")
+	sp.SetWinner()
+	sp.End()
+	spans := c.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("span delivered %d times, want 1", len(spans))
+	}
+	if spans[0].Status != "ok" || spans[0].Winner {
+		t.Fatalf("post-End mutation leaked into %+v", spans[0])
+	}
+	if n := tr.Open(); n != 0 {
+		t.Fatalf("open = %d after double End", n)
+	}
+}
+
+func TestInjectedClockTimestamps(t *testing.T) {
+	var c Collector
+	now := time.Unix(0, 1000)
+	tr := New(Options{Seed: 1, Now: func() time.Time { return now }, Sink: &c})
+	sp := tr.Root("k", "job")
+	now = time.Unix(0, 5000)
+	sp.End()
+	spans := c.Spans()
+	if spans[0].Start != 1000 || spans[0].End != 5000 {
+		t.Fatalf("span times = (%d, %d), want (1000, 5000)", spans[0].Start, spans[0].End)
+	}
+	if d := spans[0].Duration(); d != 4000 {
+		t.Fatalf("duration = %v, want 4000ns", d)
+	}
+}
+
+func TestWriterCanonicalOrderAndLatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Deliver out of order, concurrently.
+	spans := []Span{
+		{Trace: "bb", Span: 2, Name: "x"},
+		{Trace: "aa", Span: 257, Name: "y"},
+		{Trace: "aa", Span: 1, Name: "z"},
+	}
+	var wg sync.WaitGroup
+	for _, s := range spans {
+		wg.Add(1)
+		go func(s Span) {
+			defer wg.Done()
+			w.Span(s)
+		}(s)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3", len(lines))
+	}
+	wantOrder := []string{`"z"`, `"y"`, `"x"`}
+	for i, want := range wantOrder {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %s, want name %s (canonical order)", i, lines[i], want)
+		}
+	}
+
+	// Error latch: the first failed write sticks; later spans drop.
+	fw := NewWriter(failWriter{})
+	fw.Span(Span{Trace: "aa", Span: 1})
+	if err := fw.Flush(); err == nil {
+		t.Fatal("Flush over a failing writer returned nil")
+	}
+	fw.Span(Span{Trace: "aa", Span: 2}) // dropped
+	if fw.Err() == nil {
+		t.Fatal("Err not latched")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk gone") }

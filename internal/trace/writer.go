@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Writer is the span stream's JSONL exporter. Spans accumulate in
+// memory and are encoded by Flush in canonical (trace, span) order, so
+// the stream's bytes do not depend on which goroutine finished which
+// stage first — concurrent sweeps export byte-stable files. Errors
+// latch, reusing obs.RingWriter's contract: the first write error stops
+// further output, later spans are dropped, and the caller must check
+// Flush/Err after the run — the writer never aborts the work it
+// observes.
+//
+// Unlike obs.RingWriter (which one machine feeds from one goroutine), a
+// Writer is shared by every goroutine of a sweep, so it is safe for
+// concurrent use.
+type Writer struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	spans []Span
+	err   error
+}
+
+// NewWriter writes spans to w as JSON Lines on Flush.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+// Span buffers one finished span, implementing SpanSink.
+func (w *Writer) Span(s Span) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.spans = append(w.spans, s)
+	}
+	w.mu.Unlock()
+}
+
+// Flush sorts the buffered spans into canonical order, encodes them,
+// and returns the first latched error. Call it once the sweep
+// completes; a Writer holds no OS resources, so there is no separate
+// Close.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	sort.Slice(w.spans, func(i, j int) bool {
+		a, b := w.spans[i], w.spans[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.Span < b.Span
+	})
+	for _, s := range w.spans {
+		if err := w.enc.Encode(s); err != nil {
+			w.err = err
+			break
+		}
+	}
+	w.spans = w.spans[:0]
+	return w.err
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Collector buffers finished spans in memory for tests and in-process
+// analysis, implementing SpanSink.
+type Collector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span implements SpanSink.
+func (c *Collector) Span(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Spans returns the collected spans in canonical (trace, span) order.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	out := append([]Span(nil), c.spans...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Trace != out[j].Trace {
+			return out[i].Trace < out[j].Trace
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}

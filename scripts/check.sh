@@ -41,6 +41,12 @@ echo "==> serving smoke (loosimd -selfcheck: submit over HTTP, cache hit, metric
 go run ./cmd/loosimd -selfcheck -cache "$tmp/cache" >/dev/null
 
 echo "==> sweep smoke (loosweep -selfcheck: coordinator + 2 loopback backends)"
-go run ./cmd/loosweep -selfcheck >/dev/null
+go run ./cmd/loosweep -selfcheck -trace "$tmp/spans.jsonl" >/dev/null
+
+echo "==> tracing smoke (loostrace over the selfcheck span stream)"
+# The traced selfcheck already proved byte-identity; here the renderer must
+# reconstruct the same stream into waterfalls and a fleet summary.
+go run ./cmd/loostrace "$tmp/spans.jsonl" >/dev/null
+go run ./cmd/loostrace -json "$tmp/spans.jsonl" >/dev/null
 
 echo "All checks passed."
