@@ -21,6 +21,22 @@
 //	            analyzer, file, and message match a recorded entry are
 //	            suppressed, so a new analyzer can be adopted incrementally
 //	            while keeping the gate green
+//	-sarif      also write the findings as a SARIF 2.1.0 log to the given
+//	            file, for native PR annotation upload in CI
+//	-timing     print one wall-time line per enabled analyzer to stderr
+//	-v          with -timing, also print the run total and call-graph time
+//
+// The performance layer (see internal/analysis escapes.go, perfbudget.go)
+// rides behind its own flags:
+//
+//	-perf          report hot-path compiler diagnostics (heap escapes,
+//	               inlining failures, bounds checks) joined against the
+//	               call graph; a report, not a gate — exit stays 0
+//	-perfbaseline  perf budget JSON (PERF_baseline.json); exit 1 if any
+//	               hot-path count grew over the committed budget
+//	-perfupdate    with -perfbaseline, rewrite the budget from the current
+//	               counts instead of checking (run after an optimization
+//	               PR to ratchet the budget down)
 package main
 
 import (
@@ -31,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"loosesim/internal/analysis"
 )
@@ -47,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	enable := fs.String("enable", "all", "comma-separated analyzers to run")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	baseline := fs.String("baseline", "", "JSON findings file; matching findings are suppressed")
+	sarif := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	timing := fs.Bool("timing", false, "print per-analyzer wall time to stderr")
+	verbose := fs.Bool("v", false, "with -timing, also print total and call-graph time")
+	perf := fs.Bool("perf", false, "report hot-path compiler diagnostics (escapes, inlining, bounds checks)")
+	perfBaseline := fs.String("perfbaseline", "", "perf budget JSON; exit 1 if any hot-path count grew")
+	perfUpdate := fs.Bool("perfupdate", false, "with -perfbaseline, rewrite the budget from current counts")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -107,7 +130,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.RunAnalyzers(loader, pkgs, analyzers)
+	var clock func() time.Time
+	if *timing {
+		clock = time.Now
+	}
+	diags, stats := analysis.RunAnalyzersTimed(loader, pkgs, analyzers, clock)
+	if *timing {
+		for _, tm := range stats.Timings {
+			fmt.Fprintf(stderr, "timing: %-13s %s\n", tm.Name, tm.Elapsed.Round(time.Microsecond))
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "timing: callgraph %s, total %s\n",
+				stats.Graph.Round(time.Microsecond), stats.Total.Round(time.Microsecond))
+		}
+	}
 	relativize(diags, root)
 	if *baseline != "" {
 		known, err := loadBaseline(*baseline, root)
@@ -122,6 +158,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		diags = kept
+	}
+	if *sarif != "" {
+		if err := writeSARIF(*sarif, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -138,13 +180,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	code := 0
 	if len(diags) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(diags))
 		}
-		return 1
+		code = 1
 	}
-	return 0
+	if *perf || *perfBaseline != "" {
+		if pc := runPerf(stdout, stderr, loader, root, *perf, *perfBaseline, *perfUpdate); pc > code {
+			code = pc
+		}
+	}
+	return code
 }
 
 // relativize rewrites absolute positions under the module root to

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"loosesim/internal/analysis"
+)
+
+// runPerf drives the perf-analysis layer: compile the module with
+// diagnostic flags, join the output against the hot-path call graph, count
+// dynamic dispatch sites, and either report, check against, or rewrite the
+// committed budget. Returns the process exit code contribution: 0 clean,
+// 1 budget exceeded, 2 operational error.
+func runPerf(stdout, stderr io.Writer, loader *analysis.Loader, root string,
+	report bool, baselinePath string, update bool) int {
+
+	prog := analysis.BuildProgram(loader.Fset(), loader.AllPackages())
+	raws, err := analysis.CompilerDiags(root, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+	diags := analysis.JoinHot(prog, root, raws)
+	sites := analysis.HotDispatchSites(prog)
+	current := analysis.ComputePerfBudget(diags, sites)
+
+	if report {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		fmt.Fprintf(stderr, "simlint: %d hot-path compiler diagnostic(s), %d dynamic dispatch site(s)\n",
+			len(diags), len(sites))
+	}
+
+	if baselinePath == "" {
+		return 0 // -perf alone is a report, not a gate
+	}
+	if update {
+		if err := current.Write(baselinePath); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "simlint: wrote perf budget %s\n", baselinePath)
+		return 0
+	}
+	baseline, err := analysis.ReadPerfBudget(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
+	}
+	growths, shrinks := baseline.Diff(current)
+	for _, d := range shrinks {
+		fmt.Fprintf(stderr, "simlint: perf budget improved: %s (lock it in with -perfupdate)\n", d)
+	}
+	for _, d := range growths {
+		fmt.Fprintf(stderr, "simlint: perf budget exceeded: %s\n", d)
+	}
+	if len(growths) > 0 {
+		fmt.Fprintf(stderr, "simlint: %d hot-path perf count(s) grew over %s; fix the regressions or justify a new budget\n",
+			len(growths), baselinePath)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+
+	"loosesim/internal/analysis"
+)
+
+// Minimal SARIF 2.1.0 output, enough for github/codeql-action/upload-sarif
+// to turn findings into PR annotations. One run, one tool (simlint), one
+// rule per analyzer; findings map to results with physical locations.
+// Positions are already root-relative slash paths by the time this runs
+// (relativize), which is exactly the uriBaseId-free form the uploader
+// resolves against the repository root.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the findings of this run as a SARIF log at path.
+// Rules cover the analyzers that actually ran, so the log is
+// self-describing without dragging in the whole suite.
+func writeSARIF(path string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:  "simlint",
+			Rules: make([]sarifRule, 0, len(analyzers)),
+		}},
+		Results: make([]sarifResult, 0, len(diags)),
+	}
+	for _, a := range analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	for _, d := range diags {
+		file, line, col := splitPosition(d.Position)
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: file},
+				Region:           sarifRegion{StartLine: line, StartColumn: col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splitPosition breaks "file:line:col" apart; SARIF wants startLine >= 1,
+// so an unparsable position degrades to line 1 rather than an invalid log.
+func splitPosition(pos string) (file string, line, col int) {
+	file, line, col = pos, 1, 0
+	rest := pos
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		if n, err := strconv.Atoi(rest[i+1:]); err == nil {
+			col = n
+			rest = rest[:i]
+			if j := strings.LastIndex(rest, ":"); j >= 0 {
+				if m, err := strconv.Atoi(rest[j+1:]); err == nil && m >= 1 {
+					line = m
+					rest = rest[:j]
+				}
+			}
+			file = rest
+		}
+	}
+	return file, line, col
+}

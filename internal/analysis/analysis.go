@@ -179,6 +179,10 @@ func All() []*Analyzer {
 		LockOrder(),
 		NonDetTaint(),
 		ChanClose(),
+		IfaceDispatch(),
+		DeferHot(),
+		AppendHot(),
+		ClosureCap(),
 	}
 }
 

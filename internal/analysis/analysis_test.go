@@ -113,11 +113,15 @@ func TestGoLeakFixture(t *testing.T)       { runFixture(t, GoLeak(), "goleak.go"
 func TestLockOrderFixture(t *testing.T)    { runFixture(t, LockOrder(), "lockorder.go") }
 func TestNonDetTaintFixture(t *testing.T)  { runFixture(t, NonDetTaint(), "nondet.go") }
 func TestChanCloseFixture(t *testing.T)    { runFixture(t, ChanClose(), "chanclose.go") }
+func TestIfaceDispatchFixture(t *testing.T) { runFixture(t, IfaceDispatch(), "ifacedispatch.go") }
+func TestDeferHotFixture(t *testing.T)      { runFixture(t, DeferHot(), "deferhot.go") }
+func TestAppendHotFixture(t *testing.T)     { runFixture(t, AppendHot(), "appendhot.go") }
+func TestClosureCapFixture(t *testing.T)    { runFixture(t, ClosureCap(), "closurecap.go") }
 
 func TestByName(t *testing.T) {
 	all, err := ByName("all")
-	if err != nil || len(all) != 14 {
-		t.Fatalf("ByName(all) = %d analyzers, err %v; want 14, nil", len(all), err)
+	if err != nil || len(all) != 18 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want 18, nil", len(all), err)
 	}
 	two, err := ByName("detmap,noclock")
 	if err != nil || len(two) != 2 {

@@ -108,6 +108,9 @@ type FuncInfo struct {
 // Program is the whole-program fact base handed to cross-package
 // analyzers via Pass.Program.
 type Program struct {
+	// Fset is the file set the packages were parsed against; the perf
+	// layer uses it to join compiler diagnostics by source position.
+	Fset  *token.FileSet
 	Pkgs  []*Package
 	Funcs map[*types.Func]*FuncInfo
 	// Calls maps a function to its static callees (module-local and
@@ -186,6 +189,7 @@ func (p *Program) HotInfo(fn *types.Func) *FuncInfo {
 // The packages must already be typechecked against the shared fset.
 func BuildProgram(fset *token.FileSet, pkgs []*Package) *Program {
 	prog := &Program{
+		Fset:    fset,
 		Pkgs:    pkgs,
 		Funcs:   make(map[*types.Func]*FuncInfo),
 		Calls:   make(map[*types.Func][]*types.Func),
@@ -244,6 +248,9 @@ func collectSpawns(fi *FuncInfo) []SpawnSite {
 				// Qualified identifier pkg.Func.
 				site.Callee, _ = info.Uses[fun.Sel].(*types.Func)
 			}
+		}
+		if site.Callee != nil {
+			site.Callee = site.Callee.Origin()
 		}
 		out = append(out, site)
 		return true
@@ -340,7 +347,13 @@ func collectCallees(fi *FuncInfo, named []*types.Named) []*types.Func {
 	seen := make(map[*types.Func]bool)
 	var out []*types.Func
 	add := func(fn *types.Func) {
-		if fn != nil && !seen[fn] {
+		if fn == nil {
+			return
+		}
+		// Methods of instantiated generic types resolve to per-instantiation
+		// objects; the graph is keyed by the declared origin.
+		fn = fn.Origin()
+		if !seen[fn] {
 			seen[fn] = true
 			out = append(out, fn)
 		}
@@ -393,13 +406,13 @@ func (p *Program) CalleesAt(info *types.Info, call *ast.CallExpr) []*types.Func 
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
-			return []*types.Func{fn}
+			return []*types.Func{fn.Origin()}
 		}
 	case *ast.SelectorExpr:
 		sel, ok := info.Selections[fun]
 		if !ok {
 			if fn, okq := info.Uses[fun.Sel].(*types.Func); okq {
-				return []*types.Func{fn}
+				return []*types.Func{fn.Origin()}
 			}
 			return nil
 		}
@@ -417,7 +430,7 @@ func (p *Program) CalleesAt(info *types.Info, call *ast.CallExpr) []*types.Func 
 		if iface, oki := recv.Underlying().(*types.Interface); oki {
 			return implementations(iface, callee.Name(), p.named)
 		}
-		return []*types.Func{callee}
+		return []*types.Func{callee.Origin()}
 	}
 	return nil
 }

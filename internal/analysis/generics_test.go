@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"testing"
+)
+
+// TestCallGraphGenerics checks that hot-path reachability survives the
+// three shapes the loader historically could not see: calls to generic
+// functions, methods called through an instantiated generic type, and
+// method expressions bound to a function value. All resolution goes
+// through types.Func.Origin, so per-instantiation method objects line up
+// with the declared graph nodes.
+func TestCallGraphGenerics(t *testing.T) {
+	prog := loadFixtureProgram(t, "generics.go")
+
+	var hot []string
+	for fn := range prog.Hot {
+		hot = append(hot, funcDisplayName(fn))
+	}
+	sort.Strings(hot)
+
+	want := []string{
+		"Machine.drain", // method expression (*Machine).drain
+		"Machine.flush", // transitively via drain
+		"Machine.step",  // root
+		"Stack.grow",    // transitively via Stack[int].push
+		"Stack.push",    // method on instantiated generic type
+		"clampAll",      // generic function call
+		"clampOne",      // transitively inside a generic body
+	}
+	if len(hot) != len(want) {
+		t.Fatalf("hot set = %v, want %v", hot, want)
+	}
+	for i := range want {
+		if hot[i] != want[i] {
+			t.Fatalf("hot set = %v, want %v", hot, want)
+		}
+	}
+}
+
+// TestCalleesAtGenerics checks the single-call resolver normalizes
+// instantiated callees the same way the edge collector does.
+func TestCalleesAtGenerics(t *testing.T) {
+	prog := loadFixtureProgram(t, "generics.go")
+	step := fixtureFunc(t, prog, "Machine.step")
+	push := fixtureFunc(t, prog, "Stack.push")
+
+	var resolved []string
+	ast.Inspect(step.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, fn := range prog.CalleesAt(step.Pkg.Info, call) {
+			resolved = append(resolved, funcDisplayName(fn))
+		}
+		return true
+	})
+	sort.Strings(resolved)
+
+	want := []string{"Stack.push", "clampAll"}
+	if len(resolved) != len(want) {
+		t.Fatalf("resolved callees = %v, want %v", resolved, want)
+	}
+	for i := range want {
+		if resolved[i] != want[i] {
+			t.Fatalf("resolved callees = %v, want %v", resolved, want)
+		}
+	}
+
+	// The resolved push must be the identical graph node the program
+	// indexed from the declaration, not an instantiation clone.
+	found := false
+	ast.Inspect(step.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, fn := range prog.CalleesAt(step.Pkg.Info, call) {
+			if fn == push.Obj {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("CalleesAt did not resolve Stack[int].push to the declared origin object")
+	}
+}
+
+// TestNonDetTaintGenerics checks taint summaries instantiate at generic
+// call sites: a clock value laundered through a generic function or
+// method still reaches the sink.
+func TestNonDetTaintGenerics(t *testing.T) {
+	runFixture(t, NonDetTaint(), "genericstaint.go")
+}
+
+// TestDefUseGenericMakeChan checks capacity resolution inside a generic
+// function body, where the channel's element type is a type parameter.
+func TestDefUseGenericMakeChan(t *testing.T) {
+	prog := loadFixtureProgram(t, "generics.go")
+	sig := fixtureFunc(t, prog, "signals")
+
+	du := BuildDefUse(sig.Pkg.Info, sig.Decl.Body)
+	var got int
+	var resolvedOK bool
+	ast.Inspect(sig.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		got, resolvedOK = du.ResolveMakeChan(ret.Results[0])
+		return false
+	})
+	if !resolvedOK || got != 4 {
+		t.Fatalf("ResolveMakeChan over generic body = (%d, %v), want (4, true)", got, resolvedOK)
+	}
+}
+
+// TestSyncKeyGenericReceiver checks that a mutex field on an
+// instantiated generic receiver keys by the declared type name, so lock
+// facts line up across instantiations.
+func TestSyncKeyGenericReceiver(t *testing.T) {
+	prog := loadFixtureProgram(t, "generics.go")
+	push := fixtureFunc(t, prog, "Stack.push")
+
+	var keys []string
+	ast.Inspect(push.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, _, okm := mutexOpOf(push.Pkg.Info, call)
+		if !okm {
+			return true
+		}
+		if key, okk := syncKeyOf(push.Pkg.Info, recv); okk {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	if len(keys) != 2 || keys[0] != "Stack.mu" || keys[1] != "Stack.mu" {
+		t.Fatalf("sync keys in generic method = %v, want [Stack.mu Stack.mu]", keys)
+	}
+}

@@ -4,7 +4,26 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
+
+// AnalyzerTiming is one analyzer's accumulated wall time across every
+// package it ran over.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunStats reports where a lint run's time went. Graph is the
+// whole-program fact-base construction (call graph + hot reachability),
+// which is shared by all analyzers; Total is end to end. Because the
+// (package × analyzer) jobs run in parallel, per-analyzer times sum CPU
+// work and legitimately exceed Total.
+type RunStats struct {
+	Timings []AnalyzerTiming // one entry per registered analyzer, run order
+	Graph   time.Duration
+	Total   time.Duration
+}
 
 // RunAnalyzers fans the given analyzers out over the loaded packages — one
 // worker per CPU over the (package × analyzer) job grid — and returns every
@@ -14,7 +33,24 @@ import (
 // built once, over every package the loader typechecked, and shared
 // read-only by all jobs.
 func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(loader, pkgs, analyzers, nil)
+	return diags
+}
+
+// RunAnalyzersTimed is RunAnalyzers with per-analyzer wall-time
+// accounting. The clock is injected (noclock keeps time.Now out of
+// internal packages; cmd/simlint passes the real clock); with a nil clock
+// no times are taken and the stats carry zero durations — the Timings
+// list still names every analyzer.
+func RunAnalyzersTimed(loader *Loader, pkgs []*Package, analyzers []*Analyzer, now func() time.Time) ([]Diagnostic, *RunStats) {
+	clock := now
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
+	start := clock()
 	prog := BuildProgram(loader.Fset(), loader.AllPackages())
+	graphDone := clock()
+
 	type job struct {
 		pkg *Package
 		a   *Analyzer
@@ -30,9 +66,10 @@ func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diag
 	}
 
 	var (
-		mu    sync.Mutex
-		diags []Diagnostic
-		wg    sync.WaitGroup
+		mu      sync.Mutex
+		diags   []Diagnostic
+		elapsed = make(map[string]time.Duration, len(analyzers))
+		wg      sync.WaitGroup
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, j := range jobs {
@@ -41,14 +78,16 @@ func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diag
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			jobStart := clock()
 			pass := NewPass(j.a, loader.Fset(), j.pkg.Files, j.pkg.Types, j.pkg.Info)
 			pass.Program = prog
 			j.a.Run(pass)
-			if ds := pass.Diagnostics(); len(ds) > 0 {
-				mu.Lock()
-				diags = append(diags, ds...)
-				mu.Unlock()
-			}
+			jobTime := clock().Sub(jobStart)
+			ds := pass.Diagnostics()
+			mu.Lock()
+			elapsed[j.a.Name] += jobTime
+			diags = append(diags, ds...)
+			mu.Unlock()
 		}(j)
 	}
 	wg.Wait()
@@ -66,5 +105,10 @@ func RunAnalyzers(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Diag
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+
+	stats := &RunStats{Graph: graphDone.Sub(start), Total: clock().Sub(start)}
+	for _, a := range analyzers {
+		stats.Timings = append(stats.Timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	return diags, stats
 }

@@ -1,0 +1,43 @@
+// Fixture for the appendhot analyzer: append on the hot path must carry
+// preallocation evidence — an explicit reslice of existing backing, or a
+// simlint:prealloc marker naming where capacity was provisioned.
+package fixture
+
+// Machine mirrors the simulator's hot-path shape.
+type Machine struct {
+	events []int
+	loads  []int
+	dead   []int
+}
+
+func (m *Machine) step(e int) {
+	m.events = append(m.events, e) // want "append without preallocation evidence in hot-path function Machine.step"
+	m.compact()
+	m.recycle(e)
+}
+
+// compact is hot via step: the filter idiom reuses the backing array.
+func (m *Machine) compact() {
+	kept := m.loads[:0]
+	for _, ld := range m.loads {
+		if ld > 0 {
+			kept = append(kept, ld) // ok: appends into the existing backing
+		}
+	}
+	m.loads = append(m.loads[:0], kept...) // ok: reslice target
+}
+
+// recycle is hot via step: the marker states where capacity comes from.
+func (m *Machine) recycle(e int) {
+	// simlint:prealloc dead list sized to the ring at construction
+	m.dead = append(m.dead, e)
+}
+
+// rebuild is cold: growth off the hot path is unbudgeted.
+func (m *Machine) rebuild(src []int) {
+	var out []int
+	for _, v := range src {
+		out = append(out, v) // ok: cold function
+	}
+	m.events = out
+}

@@ -1,0 +1,50 @@
+// Fixture for the closurecap analyzer: a closure that assigns (or takes
+// the address of) a captured variable forces that variable onto the heap,
+// and every hot invocation chases the extra pointer. Read-only captures
+// are left to the compiler, which copies them.
+package fixture
+
+// Machine mirrors the simulator's hot-path shape.
+type Machine struct {
+	queue []int
+	sum   int
+}
+
+func (m *Machine) step() {
+	total := 0
+	m.scan(func(v int) { // want "closure captures total by reference (created in hot-path function Machine.step)"
+		total += v
+	})
+	limit := 8
+	m.scan(func(v int) { // ok: read-only capture is copied, not moved
+		if v > limit {
+			m.sum = v
+		}
+	})
+}
+
+// scan is hot via step.
+func (m *Machine) scan(f func(int)) {
+	for _, v := range m.queue {
+		f(v)
+	}
+}
+
+// install runs once at construction (cold), but the callback it builds is
+// handed to a hot function — the capture still pins the counter on the
+// heap for the whole run.
+func (m *Machine) install() {
+	hits := 0
+	m.scan(func(v int) { // want "closure captures hits by reference (passed to hot-path function Machine.scan)"
+		hits++
+	})
+	_ = hits
+}
+
+// report is cold and keeps its closure cold: no finding.
+func (m *Machine) report() int {
+	n := 0
+	walk := func() { n++ } // ok: never reaches the hot path
+	walk()
+	return n
+}

@@ -1,0 +1,36 @@
+// Fixture for the deferhot analyzer: defer is a per-invocation cost and
+// an inlining blocker, so it is banned in hot-path-reachable functions.
+package fixture
+
+import "sync"
+
+// Machine mirrors the simulator's hot-path shape.
+type Machine struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (m *Machine) step() {
+	m.mu.Lock()
+	defer m.mu.Unlock() // want "defer in hot-path function Machine.step"
+	m.bump()
+}
+
+// bump is hot via step.
+func (m *Machine) bump() {
+	defer func() { m.count++ }() // want "defer in hot-path function Machine.bump (reachable from Machine.step)"
+}
+
+// snapshot is cold: defer is the right tool off the hot path.
+func (m *Machine) snapshot() int {
+	m.mu.Lock()
+	defer m.mu.Unlock() // ok: cold function
+	return m.count
+}
+
+// flush shows the per-site escape hatch.
+func (m *Machine) retire() {
+	// simlint:ignore deferhot unlock pairs with a panic path, measured free
+	defer m.mu.Unlock()
+	m.mu.Lock()
+}

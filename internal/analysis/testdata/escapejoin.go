@@ -1,0 +1,33 @@
+// Fixture for the JoinHot compiler-diagnostic attribution: step is a hot
+// root; grow and fail are hot via step; report is coldpath-marked; the
+// make in suppressed carries a perf ignore. Tests derive line numbers from
+// the parsed declarations, so this file can be edited freely.
+package fixture
+
+// Machine mirrors the simulator's hot-path shape.
+type Machine struct{ buf []int }
+
+func (m *Machine) step() {
+	m.grow(1)
+	m.fail()
+	m.suppressed()
+	_ = m.buf[0]
+}
+
+func (m *Machine) grow(n int) {
+	m.buf = make([]int, n)
+}
+
+func (m *Machine) fail() {
+	panic("boom")
+}
+
+// simlint:coldpath once-per-run reporting
+func (m *Machine) report() {
+	m.buf = make([]int, 9)
+}
+
+func (m *Machine) suppressed() {
+	// simlint:ignore perf measured harmless, grows once
+	m.buf = make([]int, 3)
+}

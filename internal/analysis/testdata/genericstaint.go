@@ -1,0 +1,38 @@
+// Fixture proving nondet-taint summaries propagate through generic
+// instantiations: the passthrough helper and the generic method are
+// summarized once at their declared origin, and the summary is
+// instantiated at each (generic) call site because callee resolution
+// normalizes through types.Func.Origin.
+package fixture
+
+import "time"
+
+// Result mirrors the simulator's result type by name: its field writes
+// are determinism sinks.
+type Result struct {
+	Cycles uint64
+}
+
+func passthrough[T any](v T) T { return v }
+
+type holder[T any] struct{ v T }
+
+// echo returns its argument; the param-to-return summary must survive
+// instantiation at holder[uint64].
+func (h holder[T]) echo(v T) T { return v }
+
+// stampViaGeneric launders the wall clock through a generic function.
+func stampViaGeneric(r *Result) {
+	r.Cycles = passthrough(uint64(time.Now().UnixNano())) // want "simulation result field Cycles"
+}
+
+// stampViaMethod launders the wall clock through a generic method.
+func stampViaMethod(r *Result) {
+	var h holder[uint64]
+	r.Cycles = h.echo(uint64(time.Now().UnixNano())) // want "simulation result field Cycles"
+}
+
+// cleanViaGeneric moves an untainted constant the same way: no finding.
+func cleanViaGeneric(r *Result) {
+	r.Cycles = passthrough(uint64(42))
+}

@@ -44,7 +44,14 @@ func New(cfg Config) *Queue {
 	if cfg.Entries < 1 || cfg.Clusters < 1 {
 		panic(fmt.Sprintf("iq: bad config %+v", cfg))
 	}
-	return &Queue{cfg: cfg, byCluster: make([][]*uop.UOp, cfg.Clusters)}
+	q := &Queue{cfg: cfg, byCluster: make([][]*uop.UOp, cfg.Clusters)}
+	// Slotting is least-loaded but nothing caps one cluster short of the
+	// whole queue, so each list is provisioned to the full capacity —
+	// Insert must never grow on the per-cycle path.
+	for c := range q.byCluster {
+		q.byCluster[c] = make([]*uop.UOp, 0, cfg.Entries)
+	}
+	return q
 }
 
 // Config returns the queue configuration.
@@ -88,6 +95,7 @@ func (q *Queue) Insert(u *uop.UOp) bool {
 	if u.InIQ {
 		panic(fmt.Sprintf("iq: duplicate insert of %v", u))
 	}
+	// simlint:prealloc cluster lists sized to Entries at construction
 	q.byCluster[u.Cluster] = append(q.byCluster[u.Cluster], u)
 	q.count++
 	q.inserted++
@@ -117,6 +125,7 @@ func (q *Queue) Remove(u *uop.UOp) {
 // (one issue per cluster per cycle).
 func (q *Queue) SelectOldestReady(c int, ready func(*uop.UOp) bool) *uop.UOp {
 	for _, u := range q.byCluster[c] {
+		// simlint:ignore ifacedispatch wakeup predicate seam; the caller binds it once at construction
 		if u.State == uop.StateWaiting && ready(u) {
 			return u
 		}

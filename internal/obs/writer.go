@@ -41,6 +41,7 @@ func (r *RingWriter) Event(e Event) {
 	if r.err != nil {
 		return
 	}
+	// simlint:prealloc ring sized to max at construction; flush precedes overflow
 	r.buf = append(r.buf, e)
 	if len(r.buf) >= r.max {
 		r.flush()

@@ -32,8 +32,12 @@ type threadState struct {
 
 	// replay holds correct-path instructions flushed by a fetch-stage
 	// recovery (trap or refetch-policy load recovery); fetch re-delivers
-	// them before drawing new instructions from the generator.
-	replay []isa.Inst
+	// them before drawing new instructions from the generator. The buffer
+	// is head-indexed rather than re-sliced so its storage is stable: the
+	// consumed prefix [0, replayHead) doubles as prepend room for the next
+	// squash, keeping replayPrepend allocation-free in steady state.
+	replay     []isa.Inst
+	replayHead int
 
 	// Memory dependence tracking (memdep.go): in-flight correct-path
 	// stores in program order, executed unretired loads, and the oldest
@@ -153,6 +157,9 @@ func New(cfg Config) (*Machine, error) {
 		m.dra = core.New(cfg.DRA, cfg.NumPhysRegs)
 	}
 	m.swPred = bpred.NewStoreWait(cfg.StoreWaitSize, cfg.StoreWaitClear)
+	for k := range m.rings {
+		m.rings[k].init()
+	}
 	m.evSink = cfg.Events
 	if cfg.Intervals != nil {
 		m.ivSink = cfg.Intervals
@@ -174,6 +181,11 @@ func New(cfg Config) (*Machine, error) {
 			// doubling of the footprint.
 			gen: workload.NewGenerator(p, cfg.Seed+int64(i)*7919, uint64(i)<<33),
 			wp:  workload.NewGenerator(p, cfg.Seed+int64(i)*7919+104729, uint64(i)<<33),
+			// Tracked memory instructions are in-flight by definition, so
+			// MaxInFlight caps both lists; sized here so the per-cycle
+			// track calls never grow them.
+			memLoads:  make([]*uop.UOp, 0, cfg.MaxInFlight),
+			memStores: make([]*uop.UOp, 0, cfg.MaxInFlight),
 		})
 	}
 	return m, nil
@@ -318,6 +330,7 @@ func (m *Machine) schedule(kind int, cycle int64, e event) {
 // the death cycle, so after ringSize cycles nothing in the machine can
 // reach the record and it is safe to reissue.
 func (m *Machine) recycleDead(u *uop.UOp) {
+	// simlint:prealloc grows to the reclaim high-water mark once, then head-compacted and reused
 	m.dead = append(m.dead, deadRecord{u: u, at: m.cycle + ringSize})
 }
 
@@ -725,16 +738,16 @@ func (m *Machine) squashYounger(t *threadState, seq uint64) {
 	for keep > 0 && w.at(keep-1).Seq > seq {
 		keep--
 	}
-	// Collect the correct-path victims in program order for replay,
-	// ahead of any previously queued replay (which is even younger).
-	var replayBatch []isa.Inst
+	// Queue the correct-path victims in program order for replay, ahead
+	// of any previously queued replay (which is even younger).
+	n := 0
 	for i := keep; i < w.len(); i++ {
-		if u := w.at(i); !u.WrongPath {
-			replayBatch = append(replayBatch, u.Inst)
+		if !w.at(i).WrongPath {
+			n++
 		}
 	}
-	if len(replayBatch) > 0 {
-		t.replay = append(replayBatch, t.replay...)
+	if n > 0 {
+		t.replayPrepend(w, keep, n)
 	}
 	for i := w.len() - 1; i >= keep; i-- {
 		u := w.at(i)
@@ -760,6 +773,45 @@ func (m *Machine) squashYounger(t *threadState, seq uint64) {
 		dkeep--
 	}
 	d.truncFrom(dkeep)
+}
+
+// replayPrepend inserts the n correct-path instructions of w[keep:] (in
+// program order) ahead of the queued replay. The consumed prefix
+// [0, replayHead) is reused as prepend room, so in steady state — where a
+// squash usually finds the replay queue drained — no allocation happens;
+// the buffer only grows when a squash outsizes every previous one.
+func (t *threadState) replayPrepend(w *deque, keep, n int) {
+	if t.replayHead < n {
+		tail := t.replay[t.replayHead:]
+		need := n + len(tail)
+		if cap(t.replay) < need {
+			// simlint:ignore perf grows to the squash high-water mark once, then never again
+			t.replayGrow(tail, n)
+		} else {
+			t.replay = t.replay[:need]
+			copy(t.replay[n:], tail) // overlap-safe rightward move
+		}
+		t.replayHead = 0
+	} else {
+		t.replayHead -= n
+	}
+	j := t.replayHead
+	for i := keep; i < w.len(); i++ {
+		if u := w.at(i); !u.WrongPath {
+			t.replay[j] = u.Inst
+			j++
+		}
+	}
+}
+
+// replayGrow reallocates the replay buffer to hold n prepended entries
+// ahead of tail, leaving [0, n) for the caller to fill.
+//
+// simlint:coldpath grows to the squash high-water mark, then never again
+func (t *threadState) replayGrow(tail []isa.Inst, n int) {
+	grown := make([]isa.Inst, n+len(tail))
+	copy(grown[n:], tail)
+	t.replay = grown
 }
 
 // ---------------------------------------------------------------------------
@@ -936,9 +988,13 @@ func (m *Machine) fetch() {
 		switch {
 		case t.wrongPath:
 			in = t.wp.Next()
-		case len(t.replay) > 0:
-			in = t.replay[0]
-			t.replay = t.replay[1:]
+		case t.replayHead < len(t.replay):
+			in = t.replay[t.replayHead]
+			t.replayHead++
+			if t.replayHead == len(t.replay) {
+				t.replay = t.replay[:0]
+				t.replayHead = 0
+			}
 		default:
 			in = t.gen.Next()
 		}

@@ -106,11 +106,13 @@ func (m *Machine) storeResolved(u *uop.UOp) {
 
 // trackLoad records an executed load for violation checks until it retires.
 func (t *threadState) trackLoad(u *uop.UOp) {
+	// simlint:prealloc sized to MaxInFlight at construction
 	t.memLoads = append(t.memLoads, u)
 }
 
 // trackStore records a renamed store until it retires.
 func (t *threadState) trackStore(u *uop.UOp) {
+	// simlint:prealloc sized to MaxInFlight at construction
 	t.memStores = append(t.memStores, u)
 }
 

@@ -12,7 +12,10 @@ type deque struct {
 	head int
 }
 
-func (d *deque) push(u *uop.UOp) { d.buf = append(d.buf, u) }
+func (d *deque) push(u *uop.UOp) {
+	// simlint:prealloc grows to the window high-water mark once, then head-compacted and reused
+	d.buf = append(d.buf, u)
+}
 
 func (d *deque) len() int { return len(d.buf) - d.head }
 
@@ -75,14 +78,31 @@ type event struct {
 // TLB refill + writeback delay, plus slack).
 const ringSize = 1024
 
+// slotCap is the event capacity preallocated per ring slot. Per-cycle
+// per-kind event counts are bounded by machine widths (at most one evExec
+// and one evIQFree per cluster per cycle); completions can pile deeper on
+// pathological latency coincidences, in which case the slot grows once via
+// append and keeps the larger capacity.
+const slotCap = 8
+
 // eventRing is a calendar queue: slot c%ringSize holds the events of cycle
-// c for one event kind.
+// c for one event kind. init carves every slot out of one backing slab so
+// the per-cycle schedule path never grows a slot from nil — before the
+// slab, slot-by-slot append growth was ~90% of the machine's allocations.
 type eventRing struct {
 	slots [ringSize][]event
 }
 
+func (r *eventRing) init() {
+	slab := make([]event, ringSize*slotCap)
+	for i := range r.slots {
+		r.slots[i] = slab[i*slotCap : i*slotCap : (i+1)*slotCap]
+	}
+}
+
 func (r *eventRing) schedule(cycle int64, e event) {
 	i := cycle & (ringSize - 1)
+	// simlint:prealloc slots carved from the init slab; overflow growth is retained
 	r.slots[i] = append(r.slots[i], e)
 }
 

@@ -50,6 +50,9 @@ func NewFile(numPhys, threads int) *File {
 		rename:  make([][]PReg, threads),
 		valid:   make([]bool, numPhys),
 		refCnt:  make([]int32, numPhys),
+		// The free stack can hold at most every physical register, so this
+		// capacity makes Free's push growth-free for the machine's lifetime.
+		free: make([]PReg, 0, numPhys),
 	}
 	next := PReg(0)
 	for t := 0; t < threads; t++ {
@@ -128,6 +131,7 @@ func (f *File) Free(p PReg) {
 		panic(fmt.Sprintf("regfile: double free of p%d", p))
 	}
 	f.refCnt[p] = 0
+	// simlint:prealloc free stack sized to numPhys at construction
 	f.free = append(f.free, p)
 }
 

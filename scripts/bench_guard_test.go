@@ -1,0 +1,125 @@
+// Package scripts holds tests for the repo's shell scripts. The package
+// is test-only: the build, the loader, and simlint all skip it.
+package scripts
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sentinel is the committed-snapshot stand-in; a failed or garbled bench
+// run must leave it byte-identical.
+const sentinel = `{"benchmark": "BenchmarkMachine", "sentinel": true}` + "\n"
+
+// setupBenchDir copies bench.sh into a temp repo layout with a fake `go`
+// on PATH and a sentinel snapshot in place.
+func setupBenchDir(t *testing.T, fakeGo string) string {
+	t.Helper()
+	script, err := os.ReadFile("bench.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, sub := range []string{"scripts", "bin"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scripts", "bench.sh"), script, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bin", "go"), []byte(fakeGo), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_machine.json"), []byte(sentinel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// runBench executes the copied bench.sh in snapshot mode with the fake go
+// first on PATH.
+func runBench(t *testing.T, dir string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("sh", "scripts/bench.sh")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "PATH="+filepath.Join(dir, "bin")+":"+os.Getenv("PATH"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("bench.sh did not run: %v\n%s", err, out)
+	}
+	return exitErr.ExitCode(), string(out)
+}
+
+func snapshotAfter(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_machine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestBenchSnapshotGuard drives bench.sh snapshot mode against failing and
+// garbled benchmark runs: every such run must exit 2 and leave the
+// committed snapshot untouched. A well-formed run must still replace it.
+func TestBenchSnapshotGuard(t *testing.T) {
+	cases := []struct {
+		name   string
+		fakeGo string
+	}{
+		{
+			name:   "go test fails",
+			fakeGo: "#!/bin/sh\necho 'FAIL\tloosesim/internal/pipeline [build failed]' >&2\nexit 1\n",
+		},
+		{
+			name:   "no benchmark line",
+			fakeGo: "#!/bin/sh\necho 'goos: linux'\necho 'PASS'\nexit 0\n",
+		},
+		{
+			name: "garbled counts",
+			fakeGo: "#!/bin/sh\n" +
+				"echo 'cpu: FakeCPU 3000'\n" +
+				"echo 'BenchmarkMachine-8   10   oops ns/op   12 B/op   3 allocs/op'\n" +
+				"exit 0\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := setupBenchDir(t, tc.fakeGo)
+			code, out := runBench(t, dir)
+			if code != 2 {
+				t.Fatalf("bench.sh exit = %d, want 2\n%s", code, out)
+			}
+			if got := snapshotAfter(t, dir); got != sentinel {
+				t.Fatalf("snapshot was overwritten by a bad run:\n%s", got)
+			}
+		})
+	}
+
+	t.Run("valid run snapshots", func(t *testing.T) {
+		fakeGo := "#!/bin/sh\n" +
+			"echo 'cpu: FakeCPU 3000'\n" +
+			"echo 'BenchmarkMachine-8   10   3500000 ns/op   1024 B/op   50 allocs/op'\n" +
+			"exit 0\n"
+		dir := setupBenchDir(t, fakeGo)
+		code, out := runBench(t, dir)
+		if code != 0 {
+			t.Fatalf("bench.sh exit = %d, want 0\n%s", code, out)
+		}
+		got := snapshotAfter(t, dir)
+		if got == sentinel {
+			t.Fatal("valid run did not refresh the snapshot")
+		}
+		if !strings.Contains(got, `"allocs_per_op": 50`) || !strings.Contains(got, `"cpu": "FakeCPU 3000"`) {
+			t.Fatalf("snapshot content unexpected:\n%s", got)
+		}
+	})
+}

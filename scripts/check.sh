@@ -24,6 +24,15 @@ echo "==> simlint concurrency & determinism gate (ctxflow,goleak,lockorder,nonde
 # dispatch stack must stay clean under them with no baseline file.
 go run ./cmd/simlint -enable ctxflow,goleak,lockorder,nondet-taint,chanclose ./...
 
+echo "==> simlint perf ratchet (hot-path escapes/inlining/bounds/dispatch vs PERF_baseline.json)"
+if ! go run ./cmd/simlint -perfbaseline PERF_baseline.json ./...; then
+	echo "check.sh: hot-path perf budget exceeded; the grown counts are listed above." >&2
+	echo "check.sh: inspect the offending sites with:  go run ./cmd/simlint -perf ./..." >&2
+	echo "check.sh: if the growth is intentional, ratchet deliberately with:" >&2
+	echo "check.sh:   go run ./cmd/simlint -perfbaseline PERF_baseline.json -perfupdate ./..." >&2
+	exit 1
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
