@@ -273,6 +273,7 @@ func (c *Coordinator) Metrics() Metrics {
 	m.Ejections = c.counts[EvEject].Load()
 	m.Readmissions = c.counts[EvReadmit].Load()
 	m.LocalFallbacks = c.counts[EvLocalFallback].Load()
+	m.Backpressure = c.counts[EvBackpressure].Load()
 	if m.Requests > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(m.Requests)
 	}
@@ -409,6 +410,19 @@ type simError struct{ msg string }
 
 func (e *simError) Error() string { return e.msg }
 
+// backpressureError is a 429 from a backend shedding load: the backend is
+// healthy but refusing work, and its Retry-After header tells the
+// coordinator when to come back. It replaces the jittered backoff for the
+// next attempt and never counts toward ejection.
+type backpressureError struct {
+	after time.Duration
+	msg   string
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("dispatch: backend backpressure (retry after %s): %s", e.after, e.msg)
+}
+
 // runJob drives one configuration to a result: shard lookup, bounded
 // submission with hedging, jittered backoff across attempts, and local
 // fallback once the fleet is out of options. When tracing is on, the
@@ -442,7 +456,21 @@ func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Confi
 			root.SetStatus("cancelled")
 			return nil, cerr
 		}
-		c.emit(EvRetry, b)
+		// A backend under backpressure told us exactly when to come back;
+		// honor its Retry-After (capped at BackoffCap) instead of the
+		// jittered schedule. Everything else backs off as before.
+		var delay time.Duration
+		var bp *backpressureError
+		if errors.As(err, &bp) {
+			c.emit(EvBackpressure, b)
+			delay = bp.after
+			if delay > c.opts.BackoffCap {
+				delay = c.opts.BackoffCap
+			}
+		} else {
+			c.emit(EvRetry, b)
+			delay = backoff(attempt, c.opts.BackoffBase, c.opts.BackoffCap, c.jitter())
+		}
 		bsp := root.Child("backoff")
 		select {
 		case <-ctx.Done():
@@ -450,7 +478,7 @@ func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Confi
 			bsp.End()
 			root.SetStatus("cancelled")
 			return nil, ctx.Err()
-		case <-c.after(backoff(attempt, c.opts.BackoffBase, c.opts.BackoffCap, c.jitter())):
+		case <-c.after(delay):
 			bsp.End()
 		}
 	}
@@ -611,6 +639,14 @@ func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config, sp *
 	}
 	st, err := decodeStatus(resp)
 	if err != nil {
+		var bp *backpressureError
+		if errors.As(err, &bp) {
+			// A shedding backend answered coherently: that is a healthy
+			// contact, so reset its failure streak instead of charging it
+			// toward ejection — overload is load, not failure.
+			c.ok(b)
+			return nil, err
+		}
 		return nil, c.failOrCtx(ctx, b, err)
 	}
 	switch st.State {
@@ -642,6 +678,13 @@ func decodeStatus(resp *http.Response) (serve.Status, error) {
 	defer func() {
 		_ = resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return st, &backpressureError{
+			after: parseRetryAfter(resp.Header.Get("Retry-After")),
+			msg:   string(bytes.TrimSpace(msg)),
+		}
+	}
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return st, fmt.Errorf("dispatch: backend status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
@@ -650,6 +693,16 @@ func decodeStatus(resp *http.Response) (serve.Status, error) {
 		return st, fmt.Errorf("dispatch: decoding backend response: %w", err)
 	}
 	return st, nil
+}
+
+// parseRetryAfter decodes a Retry-After header's delay-seconds form. The
+// HTTP-date form and garbage both fall back to one second — a missing or
+// unparseable hint should still slow the client down, just minimally.
+func parseRetryAfter(h string) time.Duration {
+	if n, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && n >= 0 {
+		return time.Duration(n) * time.Second
+	}
+	return time.Second
 }
 
 // backendName is the stable span-target name for ring ordinal b.

@@ -407,3 +407,60 @@ func TestSimErrorIsPermanent(t *testing.T) {
 		t.Fatalf("backend charged for a simulation failure: %+v", m.Backends[0])
 	}
 }
+
+// TestBackpressureHonorsRetryAfter drives one job through two injected
+// 429s and checks the coordinator sleeps exactly the Retry-After hints
+// (capped at BackoffCap) instead of the jittered schedule, counts them as
+// backpressure rather than retries, and never charges the shedding
+// backend's health.
+func TestBackpressureHonorsRetryAfter(t *testing.T) {
+	b := servetest.StartBackend(serve.Options{Workers: 1})
+	defer b.Close()
+
+	tr := &servetest.Tripper{}
+	tr.Script(
+		servetest.FaultSpec{Fault: servetest.Status429, RetryAfter: 5}, // over the cap
+		servetest.FaultSpec{Fault: servetest.Status429, RetryAfter: 1},
+	)
+	clock := &instantClock{park: parkProbes}
+	c, err := New(Options{
+		Backends:      []string{b.URL},
+		Client:        &http.Client{Transport: tr},
+		Attempts:      4,
+		BackoffBase:   50 * time.Millisecond,
+		BackoffCap:    2 * time.Second,
+		ProbeInterval: parkProbes,
+		Jitter:        func() float64 { return 0 },
+		After:         clock.After,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cfgs := []pipeline.Config{testCfg(t, "gcc", 11)}
+	got, err := c.RunAll(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertByteIdentical(t, got, localBaseline(t, cfgs))
+
+	// 5s hint capped at the 2s BackoffCap, then the 1s hint verbatim —
+	// and neither is the jittered 25ms/50ms schedule TestRetrySchedule
+	// pins for transport failures.
+	wantDelays := []time.Duration{2 * time.Second, time.Second}
+	if gotDelays := clock.delays(); fmt.Sprint(gotDelays) != fmt.Sprint(wantDelays) {
+		t.Fatalf("backpressure delays = %v, want %v", gotDelays, wantDelays)
+	}
+
+	m := c.Metrics()
+	if m.Requests != 3 || m.Backpressure != 2 || m.Retries != 0 {
+		t.Fatalf("requests=%d backpressure=%d retries=%d, want 3/2/0", m.Requests, m.Backpressure, m.Retries)
+	}
+	if m.Backends[0].Failures != 0 || m.Backends[0].Down {
+		t.Fatalf("backend charged for shedding load: %+v", m.Backends[0])
+	}
+	if tr.Remaining() != 0 {
+		t.Fatalf("unconsumed faults: %d", tr.Remaining())
+	}
+}

@@ -34,6 +34,10 @@ const (
 	// EvLocalFallback is a job degraded to local simulation because no
 	// backend could serve it.
 	EvLocalFallback
+	// EvBackpressure is a 429 from a healthy backend whose Retry-After
+	// hint replaced the jittered backoff for the next attempt. It does not
+	// count toward ejection: an overloaded queue is load, not failure.
+	EvBackpressure
 
 	// NumEventKinds bounds the enumeration.
 	NumEventKinds
@@ -48,6 +52,7 @@ var eventKindNames = [NumEventKinds]string{
 	"eject",
 	"readmit",
 	"local-fallback",
+	"backpressure",
 }
 
 // String names the kind.
@@ -113,6 +118,7 @@ type Metrics struct {
 	Ejections      uint64 `json:"ejections"`
 	Readmissions   uint64 `json:"readmissions"`
 	LocalFallbacks uint64 `json:"local_fallbacks"`
+	Backpressure   uint64 `json:"backpressure"`
 	// CacheHitRate is CacheHits over completed backend requests.
 	CacheHitRate float64 `json:"cache_hit_rate"`
 

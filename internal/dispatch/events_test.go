@@ -19,6 +19,7 @@ func TestEventKindRoundTrip(t *testing.T) {
 		EvEject:         "eject",
 		EvReadmit:       "readmit",
 		EvLocalFallback: "local-fallback",
+		EvBackpressure:  "backpressure",
 	}
 	if len(wantNames) != int(NumEventKinds) {
 		t.Fatalf("test covers %d kinds, enum has %d — extend the table", len(wantNames), NumEventKinds)

@@ -1,0 +1,202 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"loosesim/internal/serve"
+)
+
+// Arrival is one scheduled submission: which client sends which mix entry
+// at what offset from the start of the replay.
+type Arrival struct {
+	// At is the arrival's offset from replay start (virtual time).
+	At time.Duration
+	// Client indexes Spec.Clients.
+	Client int
+	// Mix indexes the client's Mix.
+	Mix int
+	// Class is the client's parsed SLO class.
+	Class serve.Class
+	// Seq is the arrival's position in the merged schedule (0-based).
+	Seq int
+}
+
+// Generate expands a spec into its merged arrival schedule: per-client
+// counts by largest-remainder allocation of Spec.Jobs over the rate
+// fractions, per-client interarrival streams from a rand.Rand seeded by
+// (Spec.Seed, client name), merged and sorted by time. A pure function of
+// the spec: same spec, same schedule, element for element.
+func Generate(spec Spec) ([]Arrival, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	counts := allocate(spec.Jobs, spec.Clients)
+	arrivals := make([]Arrival, 0, spec.Jobs)
+	for ci := range spec.Clients {
+		c := &spec.Clients[ci]
+		class, err := serve.ParseClass(c.SLO)
+		if err != nil {
+			return nil, err // unreachable after Validate; kept for safety
+		}
+		rng := rand.New(rand.NewSource(clientSeed(spec.Seed, c.Name)))
+		sample := interarrival(c.Arrival)
+		meanGap := 1 / (spec.Rate * c.RateFraction) // seconds between arrivals
+		totalWeight := 0.0
+		for _, m := range c.Mix {
+			totalWeight += m.Weight
+		}
+		at := time.Duration(0)
+		for i := 0; i < counts[ci]; i++ {
+			at += durationFromSeconds(sample(rng) * meanGap)
+			arrivals = append(arrivals, Arrival{
+				At:     at,
+				Client: ci,
+				Mix:    pickMix(c.Mix, totalWeight, rng.Float64()),
+				Class:  class,
+			})
+		}
+	}
+	// Merge the client streams into one schedule. The sort is stable with
+	// an explicit total order (time, then client index) so equal
+	// timestamps cannot reorder between runs.
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].At != arrivals[j].At {
+			return arrivals[i].At < arrivals[j].At
+		}
+		return arrivals[i].Client < arrivals[j].Client
+	})
+	for i := range arrivals {
+		arrivals[i].Seq = i
+	}
+	return arrivals, nil
+}
+
+// allocate splits total jobs over the clients proportionally to their rate
+// fractions using largest-remainder apportionment, so the counts always
+// sum to total exactly and a 0.6/0.3/0.1 split of 10 jobs is 6/3/1, never
+// 6/3/0 or 7/3/1.
+func allocate(total int, clients []ClientSpec) []int {
+	counts := make([]int, len(clients))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(clients))
+	assigned := 0
+	for i := range clients {
+		exact := float64(total) * clients[i].RateFraction
+		counts[i] = int(math.Floor(exact))
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - math.Floor(exact)}
+	}
+	// Hand the leftover jobs to the largest remainders; ties break toward
+	// the earlier client for determinism.
+	sort.SliceStable(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+	for k := 0; k < total-assigned; k++ {
+		counts[rems[k%len(rems)].idx]++
+	}
+	return counts
+}
+
+// pickMix selects a mix entry by weight from a uniform draw in [0, 1).
+func pickMix(mix []MixEntry, totalWeight, u float64) int {
+	target := u * totalWeight
+	cum := 0.0
+	for i := range mix {
+		cum += mix[i].Weight
+		if target < cum {
+			return i
+		}
+	}
+	return len(mix) - 1 // rounding slack lands on the last entry
+}
+
+// interarrival returns a sampler producing gaps with mean 1 for the given
+// process; callers scale by the client's mean gap.
+func interarrival(a ArrivalSpec) func(*rand.Rand) float64 {
+	switch a.Process {
+	case ProcessGamma:
+		cv := a.CV
+		// A gamma with shape k = 1/cv² and scale θ = cv² has mean kθ = 1
+		// and coefficient of variation cv: cv > 1 clumps arrivals into
+		// bursts separated by long gaps, which is the traffic shape that
+		// actually stresses an admission controller.
+		k := 1 / (cv * cv)
+		theta := cv * cv
+		return func(rng *rand.Rand) float64 { return gammaSample(rng, k) * theta }
+	default: // Poisson
+		return func(rng *rand.Rand) float64 { return rng.ExpFloat64() }
+	}
+}
+
+// gammaSample draws Gamma(shape k, scale 1) via Marsaglia–Tsang squeeze
+// rejection; shapes below 1 use the boost Gamma(k) = Gamma(k+1)·U^(1/k).
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		u := rng.Float64()
+		for u == 0 { // Pow(0, ...) would collapse the sample to 0 exactly
+			u = rng.Float64()
+		}
+		return gammaSample(rng, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// clientSeed derives a client's RNG seed from the spec seed and the
+// client's name via splitmix64 over an FNV-1a hash, so adding a client
+// never perturbs the streams of the others.
+func clientSeed(seed int64, name string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	return int64(splitmix64(uint64(seed) ^ h))
+}
+
+// splitmix64 is the canonical 64-bit mixer; good enough to decorrelate
+// seed+hash combinations even when seeds are small consecutive integers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// durationFromSeconds converts a sampled gap to a Duration, clamping the
+// pathological tails (a gamma burst CV of 10 can sample enormous gaps) so
+// schedules stay finite.
+func durationFromSeconds(sec float64) time.Duration {
+	if sec < 0 || math.IsNaN(sec) {
+		return 0
+	}
+	const maxGap = float64(time.Hour)
+	d := sec * float64(time.Second)
+	if d > maxGap {
+		d = maxGap
+	}
+	return time.Duration(d)
+}

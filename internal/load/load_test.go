@@ -1,0 +1,350 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"loosesim/internal/serve"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	breakers := []struct {
+		name  string
+		mut   func(*Spec)
+		wants string
+	}{
+		{"zero rate", func(s *Spec) { s.Rate = 0 }, "rate"},
+		{"zero jobs", func(s *Spec) { s.Jobs = 0 }, "jobs"},
+		{"no clients", func(s *Spec) { s.Clients = nil }, "no clients"},
+		{"unnamed client", func(s *Spec) { s.Clients[0].Name = "" }, "no name"},
+		{"dup client", func(s *Spec) { s.Clients[1].Name = s.Clients[0].Name }, "duplicate"},
+		{"bad fraction", func(s *Spec) { s.Clients[0].RateFraction = 0 }, "rate_fraction"},
+		{"fractions off", func(s *Spec) { s.Clients[0].RateFraction = 0.5 }, "sum"},
+		{"bad slo", func(s *Spec) { s.Clients[0].SLO = "premium" }, "SLO class"},
+		{"bad process", func(s *Spec) { s.Clients[0].Arrival.Process = "pareto" }, "arrival process"},
+		{"gamma no cv", func(s *Spec) { s.Clients[0].Arrival = ArrivalSpec{Process: ProcessGamma} }, "cv"},
+		{"empty mix", func(s *Spec) { s.Clients[0].Mix = nil }, "mix"},
+		{"bad weight", func(s *Spec) { s.Clients[0].Mix[0].Weight = -1 }, "weight"},
+	}
+	for _, b := range breakers {
+		s := DefaultSpec()
+		b.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), b.wants) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", b.name, err, b.wants)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	data, err := json.Marshal(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec(data); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	bad := bytes.Replace(data, []byte(`"rate"`), []byte(`"rte"`), 1)
+	if _, err := ParseSpec(bad); err == nil {
+		t.Fatal("typoed field parsed silently")
+	}
+}
+
+func TestAllocateLargestRemainder(t *testing.T) {
+	clients := []ClientSpec{
+		{RateFraction: 0.6},
+		{RateFraction: 0.3},
+		{RateFraction: 0.1},
+	}
+	got := allocate(10, clients)
+	if got[0] != 6 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("allocate(10, 0.6/0.3/0.1) = %v, want [6 3 1]", got)
+	}
+	// The counts must sum exactly for any total, including ones where
+	// floors leave multiple leftovers.
+	for total := 1; total <= 100; total++ {
+		counts := allocate(total, clients)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("allocate(%d) = %v sums to %d", total, counts, sum)
+		}
+	}
+}
+
+// TestGenerateDeterministic: same spec, same schedule, element for
+// element; different seed, different schedule.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != spec.Jobs || len(b) != spec.Jobs {
+		t.Fatalf("schedule lengths %d/%d, want %d", len(a), len(b), spec.Jobs)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	spec.Seed = 2
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].At == c[i].At {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("changing the seed left every arrival time unchanged")
+	}
+	// The schedule is time-sorted with seq assigned in order.
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("arrivals out of order at %d: %v after %v", i, a[i].At, a[i-1].At)
+		}
+		if a[i].Seq != i {
+			t.Fatalf("seq %d at position %d", a[i].Seq, i)
+		}
+	}
+}
+
+// TestGammaSampler pins the first two moments: mean 1 (after scaling) and
+// the requested coefficient of variation, within sampling tolerance.
+func TestGammaSampler(t *testing.T) {
+	for _, cv := range []float64{0.5, 1.0, 2.5, 4.0} {
+		rng := rand.New(rand.NewSource(7))
+		sample := interarrival(ArrivalSpec{Process: ProcessGamma, CV: cv})
+		const n = 200_000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := sample(rng)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("cv %v: bad sample %v", cv, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		sd := math.Sqrt(sumSq/n - mean*mean)
+		if math.Abs(mean-1) > 0.05 {
+			t.Errorf("cv %v: mean = %v, want 1 +/- 0.05", cv, mean)
+		}
+		if gotCV := sd / mean; math.Abs(gotCV-cv) > 0.1*cv {
+			t.Errorf("cv %v: measured cv = %v", cv, gotCV)
+		}
+	}
+}
+
+// TestModelConservationAndDeterminism replays the default spec twice and
+// checks the conservation law, byte-identical reports, and that an
+// overloaded replay actually sheds (otherwise the test exercises nothing).
+func TestModelConservationAndDeterminism(t *testing.T) {
+	spec := DefaultSpec()
+	cfg := FleetConfig{Nodes: 2, Workers: 1, QueueDepth: 4, ClientCap: 3}
+
+	render := func() string {
+		arrivals, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunModel(spec, arrivals, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Totals.Shed == 0 && res.Totals.Rejected == 0 {
+			t.Fatal("overloaded replay refused nothing; the model is not under load")
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, spec, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("reports differ between identical replays:\n--- first\n%s--- second\n%s", first, second)
+	}
+	if !strings.Contains(first, "dashboard") || !strings.Contains(first, "goodput") {
+		t.Fatalf("report missing expected content:\n%s", first)
+	}
+}
+
+// TestModelUnderloadedCompletesEverything: with ample capacity nothing is
+// shed and queue waits stay near zero, so latency is dominated by service
+// time.
+func TestModelUnderloadedCompletesEverything(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Rate = 10 // far under fleet capacity
+	spec.Jobs = 200
+	arrivals, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunModel(spec, arrivals, FleetConfig{Nodes: 8, Workers: 4, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Completed != spec.Jobs || res.Totals.Shed != 0 || res.Totals.Rejected != 0 {
+		t.Fatalf("underloaded fleet refused work: %+v", res.Totals)
+	}
+}
+
+// TestSaturationCurve: goodput is monotone-ish up to the knee and the
+// overloaded tail refuses a growing fraction rather than collapsing.
+func TestSaturationCurve(t *testing.T) {
+	spec := DefaultSpec()
+	cfg := FleetConfig{Nodes: 2, Workers: 1, QueueDepth: 8}
+	scales := []float64{0.25, 0.5, 1, 2, 4}
+	points, err := SaturationCurve(spec, cfg, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(scales) {
+		t.Fatalf("%d points for %d scales", len(points), len(scales))
+	}
+	// The default spec's bursty clients shed a little even at low average
+	// load (that is what bursts do to a finite queue); what the curve must
+	// show is the knee: refusals growing sharply with overload while
+	// goodput holds instead of collapsing.
+	first, last := points[0], points[len(points)-1]
+	if last.ShedFrac+last.RejectFrac < 0.2 {
+		t.Fatalf("4x overload refused only %.1f%%: %+v", 100*(last.ShedFrac+last.RejectFrac), last)
+	}
+	if first.ShedFrac+first.RejectFrac > 0.1 {
+		t.Fatalf("quarter load refused %.1f%% of work: %+v", 100*(first.ShedFrac+first.RejectFrac), first)
+	}
+	if last.Goodput < first.Goodput {
+		t.Fatalf("goodput collapsed under overload: %+v vs %+v", last, first)
+	}
+	var buf bytes.Buffer
+	if err := WriteSaturation(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "offered/s") {
+		t.Fatalf("curve table missing header:\n%s", buf.String())
+	}
+
+	// The curve itself is deterministic.
+	again, err := SaturationCurve(spec, cfg, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points[i] != again[i] {
+			t.Fatalf("curve point %d differs between runs: %+v vs %+v", i, points[i], again[i])
+		}
+	}
+}
+
+// TestModelClassProtection: under heavy overload the interactive
+// population must keep a higher completion rate than batch — the whole
+// point of the shed staircase.
+func TestModelClassProtection(t *testing.T) {
+	spec := Spec{
+		Seed: 3,
+		Rate: 2000,
+		Jobs: 3000,
+		Clients: []ClientSpec{
+			{Name: "fg", RateFraction: 0.5, SLO: "interactive",
+				Arrival: ArrivalSpec{Process: ProcessPoisson},
+				Mix:     []MixEntry{{Weight: 1, CostMS: 10}}},
+			{Name: "bg", RateFraction: 0.5, SLO: "batch",
+				Arrival: ArrivalSpec{Process: ProcessPoisson},
+				Mix:     []MixEntry{{Weight: 1, CostMS: 10}}},
+		},
+	}
+	arrivals, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunModel(spec, arrivals, FleetConfig{Nodes: 2, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(c ClientResult) float64 { return float64(c.Completed) / float64(c.Submitted) }
+	fg, bg := res.PerClient[0], res.PerClient[1]
+	if frac(fg) <= frac(bg) {
+		t.Fatalf("interactive completion %.3f (of %d) not protected over batch %.3f (of %d)",
+			frac(fg), fg.Submitted, frac(bg), bg.Submitted)
+	}
+	if bg.Shed == 0 {
+		t.Fatal("batch population was never shed under 2000 jobs/s on 4 workers")
+	}
+}
+
+// TestShardSpread: the deterministic shard function must actually spread
+// consecutive sequence numbers over the fleet.
+func TestShardSpread(t *testing.T) {
+	counts := make([]int, 4)
+	for seq := 0; seq < 4000; seq++ {
+		n := shard(seq, 4)
+		if n < 0 || n >= 4 {
+			t.Fatalf("shard(%d, 4) = %d out of range", seq, n)
+		}
+		counts[n]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("node %d got %d of 4000 arrivals; shard is not spreading (counts %v)", i, c, counts)
+		}
+	}
+}
+
+// TestDurationFromSeconds pins the clamps.
+func TestDurationFromSeconds(t *testing.T) {
+	if d := durationFromSeconds(-1); d != 0 {
+		t.Fatalf("negative gap = %v, want 0", d)
+	}
+	if d := durationFromSeconds(math.NaN()); d != 0 {
+		t.Fatalf("NaN gap = %v, want 0", d)
+	}
+	if d := durationFromSeconds(1e9); d != time.Hour {
+		t.Fatalf("huge gap = %v, want clamped to %v", d, time.Hour)
+	}
+	if d := durationFromSeconds(0.5); d != 500*time.Millisecond {
+		t.Fatalf("0.5s = %v", d)
+	}
+}
+
+// TestMixClassesMatchServe: every class the generator can emit must parse
+// back through serve, keeping the two packages' vocabularies aligned.
+func TestMixClassesMatchServe(t *testing.T) {
+	spec := DefaultSpec()
+	arrivals, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arrivals {
+		want, err := serve.ParseClass(spec.Clients[a.Client].SLO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Class != want {
+			t.Fatalf("arrival %d class %v, want %v", a.Seq, a.Class, want)
+		}
+	}
+}

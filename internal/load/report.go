@@ -1,0 +1,119 @@
+package load
+
+import (
+	"fmt"
+	"io"
+
+	"loosesim/internal/stats"
+)
+
+// WriteReport renders one replay's per-client table: outcomes, latency
+// percentiles (milliseconds), and SLO attainment. Output is a pure
+// function of (spec, res) — fixed column order, fixed float formats, no
+// map iteration — so byte-comparing two renders is a determinism check.
+func WriteReport(w io.Writer, spec Spec, res *Result) error {
+	name := spec.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	if _, err := fmt.Fprintf(w, "spec %s seed %d: %d jobs offered at %.1f jobs/s over %d nodes x %d workers (queue %d)\n",
+		name, spec.Seed, res.Totals.Submitted, spec.Rate, res.Config.Nodes, res.Config.Workers, res.Config.QueueDepth); err != nil {
+		return err
+	}
+	var tbl stats.Table
+	tbl.AddRow("client", "slo", "submitted", "completed", "shed", "rejected", "failed", "p50ms", "p95ms", "p99ms", "meanms", "attain")
+	for i := range res.PerClient {
+		c := &res.PerClient[i]
+		cs := &spec.Clients[i]
+		slo := cs.SLO
+		if slo == "" {
+			slo = "interactive"
+		}
+		attain := "-"
+		if cs.SLOMillis > 0 && c.Completed > 0 {
+			attain = fmt.Sprintf("%.1f%%", 100*c.Latency.Fraction(int(cs.SLOMillis)))
+		}
+		tbl.AddRow(
+			c.Name,
+			slo,
+			fmt.Sprintf("%d", c.Submitted),
+			fmt.Sprintf("%d", c.Completed),
+			fmt.Sprintf("%d", c.Shed),
+			fmt.Sprintf("%d", c.Rejected),
+			fmt.Sprintf("%d", c.Failed),
+			fmt.Sprintf("%d", c.Latency.Quantile(0.50)),
+			fmt.Sprintf("%d", c.Latency.Quantile(0.95)),
+			fmt.Sprintf("%d", c.Latency.Quantile(0.99)),
+			fmt.Sprintf("%.2f", c.Latency.Mean()),
+			attain,
+		)
+	}
+	if _, err := io.WriteString(w, tbl.String()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "totals: submitted %d completed %d shed %d rejected %d failed %d  goodput %.1f jobs/s  makespan %.3fs\n",
+		res.Totals.Submitted, res.Totals.Completed, res.Totals.Shed, res.Totals.Rejected, res.Totals.Failed,
+		res.Goodput(), res.Makespan.Seconds())
+	return err
+}
+
+// SaturationPoint is one offered-load-vs-goodput sample.
+type SaturationPoint struct {
+	// Scale multiplies the spec's base rate.
+	Scale float64
+	// Offered is the scaled offered rate (jobs/s).
+	Offered float64
+	// Goodput is completed jobs per second of makespan.
+	Goodput float64
+	// ShedFrac and RejectFrac are refusals over submissions.
+	ShedFrac   float64
+	RejectFrac float64
+}
+
+// SaturationCurve replays the spec at each rate scale against a fresh
+// fleet and collects the curve: where goodput stops tracking offered load
+// is the knee, and past it the shed fraction shows admission control
+// converting the overload into refusals instead of collapse.
+func SaturationCurve(spec Spec, cfg FleetConfig, scales []float64) ([]SaturationPoint, error) {
+	points := make([]SaturationPoint, 0, len(scales))
+	for _, scale := range scales {
+		if scale <= 0 {
+			return nil, fmt.Errorf("load: saturation scale %v must be positive", scale)
+		}
+		scaled := spec
+		scaled.Rate = spec.Rate * scale
+		arrivals, err := Generate(scaled)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunModel(scaled, arrivals, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := SaturationPoint{Scale: scale, Offered: scaled.Rate, Goodput: res.Goodput()}
+		if res.Totals.Submitted > 0 {
+			p.ShedFrac = float64(res.Totals.Shed) / float64(res.Totals.Submitted)
+			p.RejectFrac = float64(res.Totals.Rejected) / float64(res.Totals.Submitted)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// WriteSaturation renders a saturation curve as an aligned table, with the
+// same byte-determinism contract as WriteReport.
+func WriteSaturation(w io.Writer, points []SaturationPoint) error {
+	var tbl stats.Table
+	tbl.AddRow("scale", "offered/s", "goodput/s", "shed%", "reject%")
+	for _, p := range points {
+		tbl.AddRow(
+			fmt.Sprintf("%.2f", p.Scale),
+			fmt.Sprintf("%.1f", p.Offered),
+			fmt.Sprintf("%.1f", p.Goodput),
+			fmt.Sprintf("%.1f", 100*p.ShedFrac),
+			fmt.Sprintf("%.1f", 100*p.RejectFrac),
+		)
+	}
+	_, err := io.WriteString(w, tbl.String())
+	return err
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+
+	"loosesim/internal/stats"
+)
+
+// Class is a job's SLO class: the admission-control priority band a
+// submission declares for itself. Interactive traffic is protected the
+// longest under overload; batch traffic is shed first. The zero value is
+// ClassInteractive, which keeps unlabelled submissions (every client that
+// predates SLO classes) on the exact pre-admission-control behaviour:
+// admitted until the queue is plain full.
+type Class uint8
+
+// The SLO classes, in dequeue-priority order: workers drain interactive
+// jobs before standard, standard before batch.
+const (
+	ClassInteractive Class = iota
+	ClassStandard
+	ClassBatch
+
+	// NumClasses bounds the enumeration.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"interactive", "standard", "batch"}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ParseClass maps a wire name to its class. The empty string is
+// ClassInteractive (back-compat: unlabelled traffic keeps its
+// pre-admission-control behaviour).
+func ParseClass(s string) (Class, error) {
+	if s == "" {
+		return ClassInteractive, nil
+	}
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown SLO class %q (want interactive, standard, or batch)", s)
+}
+
+// Decision is the outcome of one admission check.
+type Decision uint8
+
+// Admission outcomes.
+const (
+	// Admit accepts the job into the queue; the admission state has been
+	// charged and the caller must Release when the job leaves the queue.
+	Admit Decision = iota
+	// Shed refuses the job to protect higher classes: the queue still has
+	// room, but this job's class is over its shed threshold (or its
+	// client over the fairness cap). The load-shedding signal.
+	Shed
+	// Reject refuses the job because the queue is plain full, regardless
+	// of class.
+	Reject
+)
+
+// DefaultShedThresholds is the per-class occupancy fraction above which a
+// class is shed: batch loses queue access at half occupancy, standard at
+// three quarters, and interactive only when the queue is full (which is a
+// Reject, not a Shed). The staircase is what turns "the queue is filling"
+// into graceful degradation instead of a cliff: under sustained overload
+// the queue's tail capacity is reserved for the traffic that paid for it.
+var DefaultShedThresholds = [NumClasses]float64{1.0, 0.75, 0.5}
+
+// AdmissionConfig shapes an Admission.
+type AdmissionConfig struct {
+	// QueueDepth is the hard bound on admitted-but-unstarted jobs.
+	QueueDepth int
+	// ClientCap bounds the queued jobs of any single client (by the
+	// client name the submission carried); <= 0 disables the cap.
+	// Unnamed submissions (empty client) are never capped. The fairness
+	// backstop: one client replaying a huge sweep cannot occupy the whole
+	// queue and starve everyone else's interactive traffic.
+	ClientCap int
+	// Thresholds overrides DefaultShedThresholds per class; entries <= 0
+	// select the default. Values are clamped to [0, 1].
+	Thresholds [NumClasses]float64
+}
+
+// Admission is the clock-free admission-control core: given a queue bound,
+// per-class shed thresholds, and a per-client fairness cap, it decides
+// Admit/Shed/Reject and keeps the per-class and per-client occupancy
+// accounting that the decisions read. It is deliberately a pure state
+// machine — no locks, no channels, no clock — so the live Server (under
+// its queue mutex) and internal/load's deterministic fleet model share
+// the exact same semantics: the load generator's replays exercise the
+// code path production traffic hits.
+//
+// Callers serialize access themselves.
+type Admission struct {
+	depth     int
+	clientCap int
+	limits    [NumClasses]int // admit while total < limits[class]
+
+	byClass   [NumClasses]int
+	total     int
+	perClient map[string]int
+}
+
+// NewAdmission builds the admission state for a queue of the configured
+// depth. A non-positive QueueDepth selects DefaultQueueDepth.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	a := &Admission{
+		depth:     cfg.QueueDepth,
+		clientCap: cfg.ClientCap,
+		perClient: make(map[string]int),
+	}
+	for c := range a.limits {
+		f := cfg.Thresholds[c]
+		if f <= 0 {
+			f = DefaultShedThresholds[c]
+		}
+		if f > 1 {
+			f = 1
+		}
+		// The limit is the occupancy at which the class stops being
+		// admitted; ceil keeps threshold 1.0 exactly at the queue bound
+		// and guarantees every class can queue at least one job on a
+		// non-degenerate queue.
+		limit := int(f * float64(cfg.QueueDepth))
+		if float64(limit) < f*float64(cfg.QueueDepth) {
+			limit++
+		}
+		if limit < 1 {
+			limit = 1
+		}
+		a.limits[c] = limit
+	}
+	return a
+}
+
+// Decide runs one admission check. On Admit the job is charged against
+// the class, client, and total occupancy, and the caller owes a Release
+// when the job leaves the queue (picked up by a worker, or cancelled
+// while queued). Shed and Reject charge nothing.
+func (a *Admission) Decide(class Class, client string) Decision {
+	if a.total >= a.depth {
+		return Reject
+	}
+	if a.total >= a.limits[class] {
+		return Shed
+	}
+	if a.clientCap > 0 && client != "" && a.perClient[client] >= a.clientCap {
+		return Shed
+	}
+	a.byClass[class]++
+	a.total++
+	if client != "" {
+		a.perClient[client]++
+	}
+	return Admit
+}
+
+// Release returns one admitted job's occupancy. Releasing more than was
+// admitted is a caller bug; counts are clamped at zero to keep the
+// accounting self-healing rather than wrapping.
+func (a *Admission) Release(class Class, client string) {
+	if a.byClass[class] > 0 {
+		a.byClass[class]--
+	}
+	if a.total > 0 {
+		a.total--
+	}
+	if client == "" {
+		return
+	}
+	if n := a.perClient[client]; n > 1 {
+		a.perClient[client] = n - 1
+	} else if n == 1 {
+		delete(a.perClient, client)
+	}
+}
+
+// Depth returns the total admitted-but-unstarted occupancy.
+func (a *Admission) Depth() int { return a.total }
+
+// DepthByClass returns one class's occupancy.
+func (a *Admission) DepthByClass(c Class) int {
+	if c >= NumClasses {
+		return 0
+	}
+	return a.byClass[c]
+}
+
+// ClientDepth returns one client's occupancy.
+func (a *Admission) ClientDepth(client string) int { return a.perClient[client] }
+
+// Clients returns the names of clients with queued jobs, sorted.
+func (a *Admission) Clients() []string { return stats.SortedKeys(a.perClient) }

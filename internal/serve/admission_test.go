@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", ClassInteractive, true},
+		{"interactive", ClassInteractive, true},
+		{"standard", ClassStandard, true},
+		{"batch", ClassBatch, true},
+		{"premium", 0, false},
+		{"Interactive", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseClass(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseClass(%q) = (%v, %v), want (%v, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// TestAdmissionStaircase pins the shed staircase on a depth-4 queue with
+// the default thresholds: batch stops at occupancy 2, standard at 3,
+// interactive only rejects at 4.
+func TestAdmissionStaircase(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{QueueDepth: 4})
+	steps := []struct {
+		class Class
+		want  Decision
+	}{
+		{ClassBatch, Admit},       // depth 0 -> 1
+		{ClassBatch, Admit},       // depth 1 -> 2
+		{ClassBatch, Shed},        // 2 >= ceil(0.5*4)
+		{ClassStandard, Admit},    // depth 2 -> 3
+		{ClassStandard, Shed},     // 3 >= ceil(0.75*4)
+		{ClassBatch, Shed},        // still over its limit
+		{ClassInteractive, Admit}, // depth 3 -> 4
+		{ClassInteractive, Reject},
+		{ClassBatch, Reject}, // full queue rejects every class
+	}
+	for i, s := range steps {
+		if got := a.Decide(s.class, ""); got != s.want {
+			t.Fatalf("step %d (%s at depth %d): decision = %v, want %v", i, s.class, a.Depth(), got, s.want)
+		}
+	}
+	if a.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", a.Depth())
+	}
+	// Releasing batch capacity reopens the staircase from the bottom.
+	a.Release(ClassBatch, "")
+	a.Release(ClassBatch, "")
+	a.Release(ClassStandard, "")
+	if got := a.Decide(ClassBatch, ""); got != Admit {
+		t.Fatalf("batch after release = %v, want Admit", got)
+	}
+}
+
+func TestAdmissionClientCap(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{QueueDepth: 16, ClientCap: 2})
+	if got := a.Decide(ClassInteractive, "greedy"); got != Admit {
+		t.Fatalf("first = %v", got)
+	}
+	if got := a.Decide(ClassInteractive, "greedy"); got != Admit {
+		t.Fatalf("second = %v", got)
+	}
+	if got := a.Decide(ClassInteractive, "greedy"); got != Shed {
+		t.Fatalf("over-cap = %v, want Shed", got)
+	}
+	if got := a.Decide(ClassInteractive, "other"); got != Admit {
+		t.Fatalf("other client = %v, want Admit", got)
+	}
+	// Unnamed submissions are never capped.
+	for i := 0; i < 5; i++ {
+		if got := a.Decide(ClassInteractive, ""); got != Admit {
+			t.Fatalf("unnamed %d = %v, want Admit", i, got)
+		}
+	}
+	a.Release(ClassInteractive, "greedy")
+	if got := a.Decide(ClassInteractive, "greedy"); got != Admit {
+		t.Fatalf("after release = %v, want Admit", got)
+	}
+	if got := a.ClientDepth("greedy"); got != 2 {
+		t.Fatalf("greedy depth = %d, want 2", got)
+	}
+}
+
+// TestJobQueueClassPriorityAndRemove drives the queue directly: dequeue
+// order is class priority then FIFO, and remove is idempotent and releases
+// exactly one admission charge.
+func TestJobQueueClassPriorityAndRemove(t *testing.T) {
+	q := newJobQueue(AdmissionConfig{QueueDepth: 8})
+	mk := func(id string, c Class) *Job { return &Job{id: id, class: c} }
+	b1 := mk("b1", ClassBatch)
+	s1 := mk("s1", ClassStandard)
+	i1 := mk("i1", ClassInteractive)
+	i2 := mk("i2", ClassInteractive)
+	for _, j := range []*Job{b1, s1, i1, i2} {
+		if d := q.tryEnqueue(j); d != Admit {
+			t.Fatalf("enqueue %s = %v", j.id, d)
+		}
+	}
+	if got := q.depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+
+	if !q.remove(s1) {
+		t.Fatal("remove(s1) = false, want true")
+	}
+	if q.remove(s1) {
+		t.Fatal("second remove(s1) = true, want idempotent false")
+	}
+	if got := q.depth(); got != 3 {
+		t.Fatalf("depth after remove = %d, want 3", got)
+	}
+
+	want := []string{"i1", "i2", "b1"} // priority order, FIFO within class
+	for _, id := range want {
+		j := q.dequeue()
+		if j == nil || j.id != id {
+			t.Fatalf("dequeue = %v, want %s", j, id)
+		}
+	}
+	if q.remove(i1) {
+		t.Fatal("remove after dequeue = true, want false")
+	}
+	q.close()
+	if j := q.dequeue(); j != nil {
+		t.Fatalf("dequeue after close = %v, want nil", j)
+	}
+}
+
+// TestSubmitCancelSubmitAtCapacity is the regression test for the queue
+// tombstone bug: with the queue exactly full, cancelling the queued job
+// must return its capacity immediately, so the next submission is admitted
+// instead of bouncing off a queue that holds only a corpse.
+func TestSubmitCancelSubmitAtCapacity(t *testing.T) {
+	srv := New(Options{Workers: 1, QueueDepth: 1})
+	defer srv.Close()
+
+	blocker := occupyWorker(t, srv, 1)
+	defer blocker.Cancel()
+
+	queued, err := srv.Submit(JobSpec{Bench: "gcc", Seed: 2, Warmup: new(uint64), Inst: 1 << 40, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queue is now exactly full: one more must bounce.
+	if _, err := srv.Submit(JobSpec{Bench: "gcc", Seed: 3, Warmup: new(uint64), Inst: 1 << 40, NoCache: true}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit against full queue = %v, want ErrQueueFull", err)
+	}
+
+	queued.Cancel()
+	<-queued.Done()
+	if got := srv.Metrics().QueueDepth; got != 0 {
+		t.Fatalf("queue depth after cancelling the only queued job = %d, want 0", got)
+	}
+
+	// The bug: this submission used to fail with ErrQueueFull because the
+	// cancelled job still occupied the queue slot until the worker drained
+	// down to it.
+	replacement, err := srv.Submit(JobSpec{Bench: "gcc", Seed: 4, Warmup: new(uint64), Inst: 1 << 40, NoCache: true})
+	if err != nil {
+		t.Fatalf("submit after cancel at exact capacity = %v, want admitted", err)
+	}
+	replacement.Cancel()
+	<-replacement.Done()
+	if bst := blocker.Status().State; bst != StateRunning {
+		t.Fatalf("blocker state = %q, want still running", bst)
+	}
+}
+
+// TestShedStaircaseOverHTTP drives the server-level shed semantics: with a
+// pinned worker and a depth-4 queue, batch sheds at occupancy 2 and the
+// 429 carries a Retry-After hint, both for sheds and plain queue-full.
+func TestShedStaircaseOverHTTP(t *testing.T) {
+	srv := New(Options{Workers: 1, QueueDepth: 4, RetryAfter: 3 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	blocker := occupyWorker(t, srv, 1)
+	defer blocker.Cancel()
+
+	long := func(seed int64, slo string) JobSpec {
+		return JobSpec{Bench: "gcc", Seed: seed, Warmup: new(uint64), Inst: 1 << 40, NoCache: true, SLO: slo}
+	}
+	submit := func(spec JobSpec) (*http.Response, Status) {
+		t.Helper()
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp, st
+	}
+
+	// Two interactive jobs queue; occupancy 2 now sheds batch.
+	for seed := int64(2); seed <= 3; seed++ {
+		if resp, _ := submit(long(seed, "")); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("interactive seed %d status = %d, want 202", seed, resp.StatusCode)
+		}
+	}
+	resp, _ := submit(long(4, "batch"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch at occupancy 2 status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("shed Retry-After = %q, want \"3\"", got)
+	}
+
+	// Standard still fits (limit 3), then sheds.
+	if resp, _ := submit(long(5, "standard")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("standard at occupancy 2 status = %d, want 202", resp.StatusCode)
+	}
+	if resp, _ := submit(long(6, "standard")); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("standard at occupancy 3 status = %d, want 429", resp.StatusCode)
+	}
+
+	// Interactive fills the queue, then the full queue rejects with the
+	// same Retry-After hint.
+	if resp, _ := submit(long(7, "interactive")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("interactive at occupancy 3 status = %d, want 202", resp.StatusCode)
+	}
+	resp, _ = submit(long(8, "interactive"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("interactive at full queue status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("queue-full Retry-After = %q, want \"3\"", got)
+	}
+
+	m := srv.Metrics()
+	if m.Jobs.Shed != 2 || m.Jobs.Rejected != 1 {
+		t.Fatalf("shed/rejected = %d/%d, want 2/1", m.Jobs.Shed, m.Jobs.Rejected)
+	}
+	byClass := map[string]int{}
+	for _, c := range m.QueueByClass {
+		byClass[c.Class] = c.Depth
+	}
+	if byClass["interactive"] != 3 || byClass["standard"] != 1 || byClass["batch"] != 0 {
+		t.Fatalf("queue_by_class = %v, want interactive 3, standard 1, batch 0", byClass)
+	}
+}
+
+// TestOverloadConservation hammers a tiny server with a sustained
+// above-capacity stream across classes and clients, with a fraction of the
+// admitted jobs cancelled while queued, and checks the conservation law:
+// every validated submission is accounted for exactly once, and the
+// observed queue depth never exceeds QueueDepth. Run under -race.
+func TestOverloadConservation(t *testing.T) {
+	const queueDepth = 4
+	srv := New(Options{Workers: 2, QueueDepth: queueDepth, ClientCap: 3})
+	defer srv.Close()
+
+	var maxDepth atomic.Int64
+	pollDone := make(chan struct{})
+	pollStop := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			if d := srv.Metrics().QueueDepth; d > maxDepth.Load() {
+				maxDepth.Store(d)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	classes := []string{"", "interactive", "standard", "batch"}
+	var attempted atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				spec := JobSpec{
+					Bench:   "gcc",
+					Seed:    int64(1 + g*1000 + i),
+					Warmup:  new(uint64),
+					Inst:    1,
+					NoCache: true,
+					Client:  fmt.Sprintf("client-%d", g%3),
+					SLO:     classes[i%len(classes)],
+				}
+				attempted.Add(1)
+				job, err := srv.Submit(spec)
+				switch {
+				case err == nil:
+					if i%3 == 0 {
+						job.Cancel()
+					}
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
+					// Refused: still must appear in the accounting.
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(pollStop)
+	<-pollDone
+
+	m := srv.Metrics()
+	sum := m.Jobs.Completed + m.Jobs.Failed + m.Jobs.Cancelled + m.Jobs.Rejected + m.Jobs.Shed
+	if m.Jobs.Submitted != sum {
+		t.Fatalf("conservation violated: submitted %d != completed %d + failed %d + cancelled %d + rejected %d + shed %d = %d",
+			m.Jobs.Submitted, m.Jobs.Completed, m.Jobs.Failed, m.Jobs.Cancelled, m.Jobs.Rejected, m.Jobs.Shed, sum)
+	}
+	if m.Jobs.Submitted != attempted.Load() {
+		t.Fatalf("submitted = %d, want every attempted submission (%d)", m.Jobs.Submitted, attempted.Load())
+	}
+	if m.Jobs.Failed != 0 {
+		t.Fatalf("failed = %d, want 0", m.Jobs.Failed)
+	}
+	if got := maxDepth.Load(); got > queueDepth {
+		t.Fatalf("observed queue depth %d exceeds QueueDepth %d", got, queueDepth)
+	}
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", m.QueueDepth)
+	}
+
+	// The per-client ledgers must conserve independently and sum to the
+	// fleet totals (every submission in this test is named).
+	var agg ClientMetric
+	for _, c := range m.Clients {
+		if c.Submitted != c.Completed+c.Failed+c.Cancelled+c.Rejected+c.Shed {
+			t.Fatalf("client %s ledger does not conserve: %+v", c.Client, c)
+		}
+		if c.Queued != 0 {
+			t.Fatalf("client %s still queued after drain: %+v", c.Client, c)
+		}
+		agg.Submitted += c.Submitted
+		agg.Completed += c.Completed
+		agg.Cancelled += c.Cancelled
+		agg.Rejected += c.Rejected
+		agg.Shed += c.Shed
+	}
+	if agg.Submitted != m.Jobs.Submitted || agg.Completed != m.Jobs.Completed ||
+		agg.Cancelled != m.Jobs.Cancelled || agg.Rejected != m.Jobs.Rejected || agg.Shed != m.Jobs.Shed {
+		t.Fatalf("per-client totals %+v disagree with fleet totals %+v", agg, m.Jobs)
+	}
+}

@@ -41,6 +41,20 @@ type Options struct {
 	// a full queue fail with ErrQueueFull. <= 0 selects
 	// DefaultQueueDepth.
 	QueueDepth int
+	// ClientCap bounds the queued jobs of any single named client
+	// (JobSpec.Client); <= 0 disables the fairness cap. Submissions over
+	// the cap are shed (ErrShed), not rejected, so one client's sweep
+	// cannot occupy the whole queue.
+	ClientCap int
+	// ShedThresholds overrides the per-class occupancy fractions above
+	// which a class is shed under load; zero entries select
+	// DefaultShedThresholds (interactive 1.0, standard 0.75, batch 0.5).
+	ShedThresholds [NumClasses]float64
+	// RetryAfter is the backoff hint carried on 429 responses (both
+	// queue-full rejections and class sheds) in the Retry-After header;
+	// <= 0 selects DefaultRetryAfter. Open-loop clients and the dispatch
+	// coordinator honor it instead of their own schedules.
+	RetryAfter time.Duration
 	// Store is the result cache shared by all jobs; nil selects a fresh
 	// in-memory store.
 	Store Store
@@ -59,6 +73,10 @@ type Options struct {
 // DefaultQueueDepth is the queue bound when Options.QueueDepth is not set.
 const DefaultQueueDepth = 256
 
+// DefaultRetryAfter is the 429 backoff hint when Options.RetryAfter is
+// not set.
+const DefaultRetryAfter = time.Second
+
 // JobState is a job's lifecycle phase.
 type JobState string
 
@@ -75,6 +93,11 @@ const (
 var (
 	ErrDraining  = errors.New("serve: draining, not accepting jobs")
 	ErrQueueFull = errors.New("serve: queue full")
+	// ErrShed is load shedding: the queue still has room, but the
+	// submission's SLO class is over its shed threshold (or its client
+	// over the fairness cap). Like ErrQueueFull it maps to 429 with a
+	// Retry-After hint.
+	ErrShed = errors.New("serve: shed to protect higher SLO classes")
 )
 
 // JobSpec is the JSON body of a submission: exactly one of Bench (a single
@@ -110,6 +133,14 @@ type JobSpec struct {
 	TimeoutMS   int64 `json:"timeout_ms,omitempty"`   // abort after this much host time
 	NoCache     bool  `json:"no_cache,omitempty"`     // bypass the result cache
 	Events      bool  `json:"events,omitempty"`       // aggregate loop events into /metrics
+
+	// Admission control. Client names the submitter for fairness
+	// accounting and the per-client metrics; SLO is the admission class
+	// ("interactive", "standard", or "batch"; empty = interactive).
+	// Neither feeds the simulation, so neither is part of the content
+	// address.
+	Client string `json:"client,omitempty"`
+	SLO    string `json:"slo,omitempty"`
 }
 
 // config builds the pipeline configuration for a single-simulation spec
@@ -201,10 +232,16 @@ func figure(name string) func(experiments.Options) (*experiments.Table, error) {
 // Job is one accepted submission and its lifecycle. All exported methods
 // are safe for concurrent use.
 type Job struct {
-	id   string
-	spec JobSpec
-	key  string // content address; single-simulation jobs only
-	srv  *Server
+	id     string
+	spec   JobSpec
+	key    string // content address; single-simulation jobs only
+	srv    *Server
+	class  Class
+	client string
+
+	// inQueue marks the job as charged against the admission state and
+	// present in a class FIFO. Guarded by the jobQueue mutex, not j.mu.
+	inQueue bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -263,7 +300,14 @@ func (j *Job) finishQueued() {
 	// impossible, and holding the lock keeps that locally checkable.
 	close(j.done)
 	j.mu.Unlock()
-	j.srv.cancelled.Add(1)
+	// The tombstone fix: return the job's queue capacity immediately
+	// instead of leaving a corpse occupying an admission slot until a
+	// worker drains down to it. remove is a no-op if a worker won the
+	// race and already dequeued the job (setRunning then skips it), so
+	// the charge is released exactly once either way. Called after j.mu
+	// is dropped — the queue lock never nests inside a job lock.
+	j.srv.q.remove(j)
+	j.srv.countCancelled(j)
 }
 
 // closeSpans ends whatever lifecycle spans the job still holds open. Called
@@ -356,8 +400,8 @@ type Server struct {
 	ctx       context.Context // base context; cancelled to force-abort everything
 	cancelAll context.CancelFunc
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	q  *jobQueue
+	wg sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -365,13 +409,19 @@ type Server struct {
 	nextID   int
 	draining bool
 
-	queued  atomic.Int64
 	running atomic.Int64
 
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
+	rejected  atomic.Uint64
+	shed      atomic.Uint64
+
+	// Per-client fairness accounting, keyed by JobSpec.Client; unnamed
+	// submissions are not tracked.
+	clientMu sync.Mutex
+	clients  map[string]*clientStat
 
 	cstats CacheStats
 
@@ -400,16 +450,24 @@ func New(opts Options) *Server {
 	if opts.Store == nil {
 		opts.Store = NewMemStore()
 	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
 		store:     opts.Store,
 		ctx:       ctx,
 		cancelAll: cancel,
-		queue:     make(chan *Job, opts.QueueDepth),
-		jobs:      make(map[string]*Job),
-		kipsHist:  stats.NewHistogram(kipsHistBound),
-		delays:    obs.NewLoopDelays(0),
+		q: newJobQueue(AdmissionConfig{
+			QueueDepth: opts.QueueDepth,
+			ClientCap:  opts.ClientCap,
+			Thresholds: opts.ShedThresholds,
+		}),
+		jobs:     make(map[string]*Job),
+		clients:  make(map[string]*clientStat),
+		kipsHist: stats.NewHistogram(kipsHistBound),
+		delays:   obs.NewLoopDelays(0),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -442,6 +500,10 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 	}
 	if kinds != 1 {
 		return nil, errors.New("serve: a job needs exactly one of bench, figure, or config")
+	}
+	class, err := ParseClass(spec.SLO)
+	if err != nil {
+		return nil, err
 	}
 	var key string
 	if spec.Figure != "" {
@@ -485,13 +547,15 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 	}
 	s.nextID++
 	job := &Job{
-		id:    "job-" + strconv.Itoa(s.nextID),
-		spec:  spec,
-		key:   key,
-		srv:   s,
-		span:  jsp,
-		state: StateQueued,
-		done:  make(chan struct{}),
+		id:     "job-" + strconv.Itoa(s.nextID),
+		spec:   spec,
+		key:    key,
+		srv:    s,
+		class:  class,
+		client: spec.Client,
+		span:   jsp,
+		state:  StateQueued,
+		done:   make(chan struct{}),
 	}
 	if spec.TimeoutMS > 0 {
 		job.ctx, job.cancel = context.WithTimeout(s.ctx, time.Duration(spec.TimeoutMS)*time.Millisecond)
@@ -512,6 +576,7 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 			s.cstats.hits.Add(1)
 			s.submitted.Add(1)
 			s.completed.Add(1)
+			s.bumpClient(job.client, func(c *clientStat) { c.submitted++; c.completed++ })
 			job.mu.Lock()
 			job.cached = true
 			job.result = res
@@ -525,15 +590,30 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 	}
 
 	job.queueSpan = jsp.Child("queue")
-	select {
-	case s.queue <- job:
+	switch s.q.tryEnqueue(job) {
+	case Admit:
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
 		s.mu.Unlock()
-		s.queued.Add(1)
 		s.submitted.Add(1)
+		s.bumpClient(job.client, func(c *clientStat) { c.submitted++ })
 		return job, nil
-	default:
+	case Shed:
+		s.mu.Unlock()
+		job.cancel()
+		job.queueSpan.SetStatus("shed")
+		job.queueSpan.End()
+		jsp.SetStatus("shed")
+		jsp.SetDetail(ErrShed.Error())
+		jsp.End()
+		// Refused submissions still count as offered load: the overload
+		// conservation law is submitted == completed + failed +
+		// cancelled + rejected + shed once the queue drains.
+		s.submitted.Add(1)
+		s.shed.Add(1)
+		s.bumpClient(job.client, func(c *clientStat) { c.submitted++; c.shed++ })
+		return nil, ErrShed
+	default: // Reject
 		s.mu.Unlock()
 		job.cancel()
 		job.queueSpan.SetStatus("rejected")
@@ -541,8 +621,52 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 		jsp.SetStatus("rejected")
 		jsp.SetDetail(ErrQueueFull.Error())
 		jsp.End()
+		s.submitted.Add(1)
+		s.rejected.Add(1)
+		s.bumpClient(job.client, func(c *clientStat) { c.submitted++; c.rejected++ })
 		return nil, ErrQueueFull
 	}
+}
+
+// clientStat is one named client's fairness accounting.
+type clientStat struct {
+	submitted, completed, failed, cancelled, rejected, shed uint64
+}
+
+// bumpClient applies one counter update to a named client's stats;
+// unnamed submissions (client == "") are not tracked.
+func (s *Server) bumpClient(name string, f func(*clientStat)) {
+	if name == "" {
+		return
+	}
+	s.clientMu.Lock()
+	cs := s.clients[name]
+	if cs == nil {
+		cs = &clientStat{}
+		s.clients[name] = cs
+	}
+	f(cs)
+	s.clientMu.Unlock()
+}
+
+// countCompleted/countFailed/countCancelled bump the server-wide and
+// per-client terminal counters for one job. Every worker-side terminal
+// transition goes through exactly one of these, which is what keeps the
+// overload conservation law (submitted == completed + failed + cancelled +
+// rejected + shed) checkable.
+func (s *Server) countCompleted(j *Job) {
+	s.completed.Add(1)
+	s.bumpClient(j.client, func(c *clientStat) { c.completed++ })
+}
+
+func (s *Server) countFailed(j *Job) {
+	s.failed.Add(1)
+	s.bumpClient(j.client, func(c *clientStat) { c.failed++ })
+}
+
+func (s *Server) countCancelled(j *Job) {
+	s.cancelled.Add(1)
+	s.bumpClient(j.client, func(c *clientStat) { c.cancelled++ })
 }
 
 // Job returns a submitted job by ID.
@@ -570,13 +694,16 @@ func (s *Server) Jobs() []Status {
 	return out
 }
 
-// worker drains the queue. One machine is live per worker at a time, so
-// the pool's peak memory is Options.Workers machines regardless of how
-// deep the queue gets.
+// worker drains the queue in class-priority order. One machine is live
+// per worker at a time, so the pool's peak memory is Options.Workers
+// machines regardless of how deep the queue gets.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		s.queued.Add(-1)
+	for {
+		job := s.q.dequeue()
+		if job == nil {
+			return // queue closed and drained
+		}
 		s.runJob(job)
 	}
 }
@@ -627,13 +754,13 @@ func (s *Server) runJob(job *Job) {
 func (s *Server) runSim(job *Job) uint64 {
 	if err := job.ctx.Err(); err != nil {
 		job.finish(StateCancelled, err)
-		s.cancelled.Add(1)
+		s.countCancelled(job)
 		return 0
 	}
 	cfg, err := job.spec.config() // validated at submit; rebuilt here, it's cheap
 	if err != nil {
 		job.finish(StateFailed, err)
-		s.failed.Add(1)
+		s.countFailed(job)
 		return 0
 	}
 	if !job.spec.NoCache {
@@ -649,7 +776,7 @@ func (s *Server) runSim(job *Job) uint64 {
 			job.result = res
 			job.mu.Unlock()
 			job.finish(StateDone, nil)
-			s.completed.Add(1)
+			s.countCompleted(job)
 			return 0 // no simulation ran; keep KIPS honest
 		}
 		csp.SetStatus("miss")
@@ -665,7 +792,7 @@ func (s *Server) runSim(job *Job) uint64 {
 		rsp.SetError(err)
 		rsp.End()
 		job.finish(StateFailed, err)
-		s.failed.Add(1)
+		s.countFailed(job)
 		return 0
 	}
 	res, err := m.RunContext(job.ctx)
@@ -677,13 +804,13 @@ func (s *Server) runSim(job *Job) uint64 {
 		rsp.SetStatus("cancelled")
 		rsp.End()
 		job.finish(StateCancelled, err)
-		s.cancelled.Add(1)
+		s.countCancelled(job)
 		return 0
 	default: // ErrCycleBudget and anything else the pipeline reports
 		rsp.SetError(err)
 		rsp.End()
 		job.finish(StateFailed, err)
-		s.failed.Add(1)
+		s.countFailed(job)
 		return 0
 	}
 	if !job.spec.NoCache {
@@ -695,7 +822,7 @@ func (s *Server) runSim(job *Job) uint64 {
 	job.result = res
 	job.mu.Unlock()
 	job.finish(StateDone, nil)
-	s.completed.Add(1)
+	s.countCompleted(job)
 	return res.TotalRetired
 }
 
@@ -704,7 +831,7 @@ func (s *Server) runSim(job *Job) uint64 {
 func (s *Server) runFigure(job *Job) uint64 {
 	if err := job.ctx.Err(); err != nil {
 		job.finish(StateCancelled, err)
-		s.cancelled.Add(1)
+		s.countCancelled(job)
 		return 0
 	}
 	fig := figure(job.spec.Figure)
@@ -737,20 +864,20 @@ func (s *Server) runFigure(job *Job) uint64 {
 		rsp.SetStatus("cancelled")
 		rsp.End()
 		job.finish(StateCancelled, err)
-		s.cancelled.Add(1)
+		s.countCancelled(job)
 		return 0
 	default:
 		rsp.SetError(err)
 		rsp.End()
 		job.finish(StateFailed, err)
-		s.failed.Add(1)
+		s.countFailed(job)
 		return 0
 	}
 	job.mu.Lock()
 	job.table = table
 	job.mu.Unlock()
 	job.finish(StateDone, nil)
-	s.completed.Add(1)
+	s.countCompleted(job)
 	return retired.Load()
 }
 
@@ -805,7 +932,7 @@ func (s *Server) beginDrain() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.q.close()
 	}
 	s.mu.Unlock()
 }
@@ -817,11 +944,17 @@ type Metrics struct {
 	Running    int64 `json:"running"`
 	Draining   bool  `json:"draining"`
 
+	// QueueByClass reports admitted-but-unstarted occupancy per SLO class,
+	// always all classes in priority order so the layout is deterministic.
+	QueueByClass []ClassDepth `json:"queue_by_class"`
+
 	Jobs struct {
 		Submitted uint64 `json:"submitted"`
 		Completed uint64 `json:"completed"`
 		Failed    uint64 `json:"failed"`
 		Cancelled uint64 `json:"cancelled"`
+		Rejected  uint64 `json:"rejected"`
+		Shed      uint64 `json:"shed"`
 	} `json:"jobs"`
 
 	Cache struct {
@@ -844,6 +977,29 @@ type Metrics struct {
 
 	// Loops aggregates loop-event delays across events-enabled jobs.
 	Loops []LoopMetric `json:"loops,omitempty"`
+
+	// Clients is the per-client fairness accounting, sorted by client
+	// name; absent until a named client submits.
+	Clients []ClientMetric `json:"clients,omitempty"`
+}
+
+// ClassDepth is one SLO class's queue occupancy.
+type ClassDepth struct {
+	Class string `json:"class"`
+	Depth int    `json:"depth"`
+}
+
+// ClientMetric is one named client's lifecycle counters plus its current
+// queue occupancy.
+type ClientMetric struct {
+	Client    string `json:"client"`
+	Queued    int    `json:"queued"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Rejected  uint64 `json:"rejected"`
+	Shed      uint64 `json:"shed"`
 }
 
 // LoopMetric is one loose loop's aggregate delay summary.
@@ -859,7 +1015,12 @@ type LoopMetric struct {
 func (s *Server) Metrics() Metrics {
 	var m Metrics
 	m.Workers = s.opts.Workers
-	m.QueueDepth = s.queued.Load()
+	m.QueueDepth = int64(s.q.depth())
+	byClass := s.q.depthByClass()
+	m.QueueByClass = make([]ClassDepth, NumClasses)
+	for c := Class(0); c < NumClasses; c++ {
+		m.QueueByClass[c] = ClassDepth{Class: c.String(), Depth: byClass[c]}
+	}
 	m.Running = s.running.Load()
 	s.mu.Lock()
 	m.Draining = s.draining
@@ -868,6 +1029,8 @@ func (s *Server) Metrics() Metrics {
 	m.Jobs.Completed = s.completed.Load()
 	m.Jobs.Failed = s.failed.Load()
 	m.Jobs.Cancelled = s.cancelled.Load()
+	m.Jobs.Rejected = s.rejected.Load()
+	m.Jobs.Shed = s.shed.Load()
 	m.Cache.Hits = s.cstats.Hits()
 	m.Cache.Misses = s.cstats.Misses()
 	m.Cache.PutErrors = s.cstats.PutErrors()
@@ -894,5 +1057,21 @@ func (s *Server) Metrics() Metrics {
 		})
 	}
 	s.obsMu.Unlock()
+	queued := s.q.clientDepths()
+	s.clientMu.Lock()
+	for _, name := range stats.SortedKeys(s.clients) {
+		cs := s.clients[name]
+		m.Clients = append(m.Clients, ClientMetric{
+			Client:    name,
+			Queued:    queued[name],
+			Submitted: cs.submitted,
+			Completed: cs.completed,
+			Failed:    cs.failed,
+			Cancelled: cs.cancelled,
+			Rejected:  cs.rejected,
+			Shed:      cs.shed,
+		})
+	}
+	s.clientMu.Unlock()
 	return m
 }

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"time"
 
@@ -88,6 +89,10 @@ const (
 	TruncateBody
 	// Latency delays the exchange by FaultSpec.Delay before forwarding.
 	Latency
+	// Status429 answers 429 with a Retry-After header without reaching
+	// the backend (an overloaded node shedding load). FaultSpec.RetryAfter
+	// sets the header, in whole seconds.
+	Status429
 )
 
 // FaultSpec is one scripted fault.
@@ -95,6 +100,9 @@ type FaultSpec struct {
 	Fault Fault
 	// Delay is the added latency for Latency faults.
 	Delay time.Duration
+	// RetryAfter is the Retry-After header value for Status429 faults,
+	// in whole seconds.
+	RetryAfter int
 }
 
 // ErrDropped is the transport error DropConn injects.
@@ -173,6 +181,11 @@ func (t *Tripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	case Status500:
 		return syntheticResponse(req, http.StatusInternalServerError,
 			[]byte(`{"error":"servetest: injected 500"}`)), nil
+	case Status429:
+		resp := syntheticResponse(req, http.StatusTooManyRequests,
+			[]byte(`{"error":"servetest: injected queue full"}`))
+		resp.Header.Set("Retry-After", strconv.Itoa(spec.RetryAfter))
+		return resp, nil
 	case DropConn:
 		return nil, ErrDropped
 	case Hang:

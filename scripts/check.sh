@@ -49,6 +49,17 @@ go run ./cmd/loopstat -events "$tmp/ev.jsonl" -intervals "$tmp/iv.csv" >/dev/nul
 echo "==> serving smoke (loosimd -selfcheck: submit over HTTP, cache hit, metrics)"
 go run ./cmd/loosimd -selfcheck -cache "$tmp/cache" >/dev/null
 
+echo "==> load smoke (looload -selfcheck: model determinism + loopback admission fleet)"
+go run ./cmd/looload -selfcheck >/dev/null
+
+echo "==> load replay byte-identity (two seeded replays must cmp equal)"
+# -selfcheck already byte-compares in-process; this repeats it across two
+# separate processes so process-level nondeterminism (map iteration, ASLR'd
+# pointers leaking into output) would be caught too.
+go run ./cmd/looload -seed 42 -curve 0.5,1,2 >"$tmp/load1.txt"
+go run ./cmd/looload -seed 42 -curve 0.5,1,2 >"$tmp/load2.txt"
+cmp "$tmp/load1.txt" "$tmp/load2.txt"
+
 echo "==> sweep smoke (loosweep -selfcheck: coordinator + 2 loopback backends)"
 go run ./cmd/loosweep -selfcheck -trace "$tmp/spans.jsonl" >/dev/null
 
