@@ -7,14 +7,25 @@
 //	loosim -bench swim -dra
 //	loosim -bench apsi-swim -load stall -inst 1000000
 //	loosim -bench apsi -dra -intervals out.csv -events out.jsonl
+//	loosim -bench gcc -sample 20 -window 2000
+//	loosim -validate -inst 120000 -warmup 40000
 //
 // The observability flags attach internal/obs probes: -intervals writes a
 // per-interval time series (CSV, or JSONL when the path ends in .jsonl or
 // .json), -events writes the loop-event stream as JSONL. Aggregate either
 // file with cmd/loopstat. Probes never change simulation outcomes.
+//
+// -sample N runs a SMARTS-style sampled simulation (internal/sample): a
+// functional-warming chain carries cache and predictor state between N
+// measurement windows of -window instructions, each preceded by a
+// -samplewarm detailed warmup, and the merged estimate is reported with
+// per-metric confidence intervals. -validate runs sampled-vs-full over
+// the paper's figure grid and exits nonzero if any metric leaves its
+// declared error bound (see internal/sample.Metrics).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +36,7 @@ import (
 
 	"loosesim/internal/obs"
 	"loosesim/internal/pipeline"
+	"loosesim/internal/sample"
 	"loosesim/internal/workload"
 )
 
@@ -118,6 +130,82 @@ func verifyStreams(evw *obs.RingWriter, ivw intervalWriter, tr *pipeline.Tracer)
 	return nil
 }
 
+// runSampled runs one sampled simulation and reports the merged estimate
+// with per-metric confidence intervals.
+func runSampled(cfg pipeline.Config, o sample.Options, asJSON bool) {
+	start := time.Now()
+	est, err := sample.Run(context.Background(), cfg, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(est); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("sampled          %d windows x %d instructions (detailed warmup %d), extrapolated to %d\n",
+		est.Windows, est.WindowInstructions, o.DetailedWarmup, est.TotalInstructions)
+	fmt.Printf("measured         %d instructions in %d cycles (scale %.1fx)\n",
+		est.Counters.Retired, est.Counters.Cycles, est.Scale())
+	for _, met := range sample.Metrics() {
+		iv := est.Metrics[met.Name]
+		fmt.Printf("%-17s %.4f  mean %.4f +/- %.4f (95%% CI, %.1f%% rel)\n",
+			met.Name, met.Eval(est.Counters), iv.Mean, iv.CI95, 100*iv.RelCI())
+	}
+	fmt.Printf("cycle stack      %s\n", est.Stack)
+	fmt.Printf("wall             %.2fs\n", wall.Seconds())
+}
+
+// runValidate runs sampled-vs-full convergence over the paper's figure
+// grid — every single-threaded benchmark plus the m88-comp SMT pair, base
+// and DRA machines at the given register-read latency — and exits nonzero
+// if any metric leaves its declared error bound. Run lengths follow the
+// -inst/-warmup flags, so a reduced validation (as in CI) is just shorter
+// flags.
+func runValidate(tmpl pipeline.Config, regRead int, o sample.Options) {
+	benches := append(workload.SingleThreaded(), "m88-comp")
+	var labels []string
+	var cfgs []pipeline.Config
+	for _, b := range benches {
+		wl, err := workload.ByName(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, dra := range []bool{false, true} {
+			var cfg pipeline.Config
+			kind := "base"
+			if dra {
+				cfg = pipeline.DRAConfigRF(wl, regRead)
+				kind = "dra"
+			} else {
+				cfg = pipeline.BaseConfigRF(wl, regRead)
+			}
+			cfg.Seed = tmpl.Seed
+			cfg.WarmupInstructions = tmpl.WarmupInstructions
+			cfg.MeasureInstructions = tmpl.MeasureInstructions
+			labels = append(labels, b+"/"+kind)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	start := time.Now()
+	viols, err := sample.Validate(context.Background(), labels, cfgs, o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range viols {
+		fmt.Println(v)
+	}
+	fmt.Printf("validated %d configs in %.1fs: %d violations\n",
+		len(cfgs), time.Since(start).Seconds(), len(viols))
+	if len(viols) > 0 {
+		os.Exit(1)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loosim: ")
@@ -143,6 +231,11 @@ func main() {
 		ivPath   = flag.String("intervals", "", "write the per-interval time series to FILE (.jsonl/.json = JSONL, else CSV)")
 		evPath   = flag.String("events", "", "write the loop-event stream to FILE as JSONL")
 		ivCycles = flag.Int64("interval", 0, "cycles per observation interval (0 = default 10000)")
+
+		sampleN  = flag.Int("sample", 0, "sampled simulation: number of measurement windows (0 = full run)")
+		windowW  = flag.Uint64("window", 0, "sampled simulation: instructions measured per window (0 = default)")
+		sampleDW = flag.Uint64("samplewarm", 0, "sampled simulation: detailed warmup per window (0 = default)")
+		validate = flag.Bool("validate", false, "run sampled-vs-full convergence validation over the figure grid and exit")
 	)
 	flag.Parse()
 
@@ -201,6 +294,29 @@ func main() {
 	if *clusters > 0 {
 		cfg.Clusters = *clusters
 		cfg.DRA.Clusters = *clusters
+	}
+
+	sopt := sample.DefaultOptions()
+	if *sampleN > 0 {
+		sopt.Windows = *sampleN
+	}
+	if *windowW > 0 {
+		sopt.WindowInstructions = *windowW
+	}
+	if *sampleDW > 0 {
+		sopt.DetailedWarmup = *sampleDW
+	}
+
+	if *validate {
+		runValidate(cfg, *regRead, sopt)
+		return
+	}
+	if *sampleN > 0 {
+		if *trace > 0 || *ivPath != "" || *evPath != "" {
+			log.Fatal("sampled runs measure detached windows; -trace/-intervals/-events are full-run probes")
+		}
+		runSampled(cfg, sopt, *asJSON)
+		return
 	}
 
 	if *trace > 0 {

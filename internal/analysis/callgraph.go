@@ -60,6 +60,14 @@ var HotPathRoots = []string{
 	// implementation are explicit roots.
 	"ActiveSpan.End",
 	"Writer.Span",
+	// Functional warming runs once per skipped instruction between sample
+	// windows — the sampler's whole value is this loop being ~40x cheaper
+	// than a detailed cycle, so it is held to hot-path discipline. The
+	// snapshot codec is deliberately NOT rooted: encode/restore run once
+	// per window boundary, not per cycle, and their error paths format
+	// diagnostics — per-record cost there is bounded by machine size, not
+	// instruction count.
+	"Machine.WarmForward",
 }
 
 // SpawnSite records one goroutine spawn (`go f(...)` or `go func(){...}()`),

@@ -32,7 +32,9 @@ func SinkGuard() *Analyzer {
 			return strings.HasSuffix(pkgPath, "internal/pipeline") ||
 				strings.HasSuffix(pkgPath, "internal/serve") ||
 				strings.HasSuffix(pkgPath, "internal/dispatch") ||
-				strings.HasSuffix(pkgPath, "internal/trace")
+				strings.HasSuffix(pkgPath, "internal/trace") ||
+				strings.HasSuffix(pkgPath, "internal/sample") ||
+				strings.HasSuffix(pkgPath, "internal/snap")
 		},
 	}
 	a.Run = func(pass *Pass) {

@@ -40,7 +40,9 @@ import (
 
 	"loosesim"
 	"loosesim/internal/pipeline"
+	"loosesim/internal/sample"
 	"loosesim/internal/serve"
+	"loosesim/internal/snap"
 	"loosesim/internal/trace"
 )
 
@@ -377,7 +379,7 @@ func (c *Coordinator) RunAll(ctx context.Context, cfgs []pipeline.Config) ([]*pi
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := c.runJob(ctx, keys[i], cfgs[i])
+			res, err := c.runJob(ctx, keys[i], point{cfg: cfgs[i]})
 			if err != nil {
 				errs[i] = fmt.Errorf("config %d: %w", i, err)
 				return
@@ -394,12 +396,69 @@ func (c *Coordinator) RunAll(ctx context.Context, cfgs []pipeline.Config) ([]*pi
 	return results, nil
 }
 
+// RunSampled runs one configuration as a SMARTS-style sampled simulation
+// over the fleet: the functional-warming chain and checkpoints are
+// produced coordinator-side (one cheap pass), each measurement window is
+// dispatched as a checkpoint job sharded by the checkpoint's content
+// address, and the per-window results merge back into a whole-run
+// estimate. Window jobs ride the same retry/hedge/fallback machinery as
+// sweep points, so a sampled run survives the same fleet failures a
+// batch does, with bit-identical results by the determinism contract.
+func (c *Coordinator) RunSampled(ctx context.Context, cfg pipeline.Config, o sample.Options) (*sample.Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ckpts, err := sample.Checkpoints(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := sample.WindowConfig(cfg, o)
+	wkey, err := serve.ConfigKey(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*pipeline.Result, len(ckpts))
+	errs := make([]error, len(ckpts))
+	var wg sync.WaitGroup
+	for i := range ckpts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The shard key mirrors the backend's cache key for a
+			// checkpoint job: checkpoint digest prefix + window config
+			// key, so repeat runs of the same window hit the same node's
+			// cache.
+			key := snap.Digest(ckpts[i])[:16] + wkey
+			res, err := c.runJob(ctx, key, point{cfg: wcfg, ckpt: ckpts[i]})
+			if err != nil {
+				errs[i] = fmt.Errorf("window %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sample.Merge(results, o, cfg.MeasureInstructions)
+}
+
 // Runner adapts the coordinator to experiments.Options.Runner, so a
 // figure regenerates through the fleet.
 func (c *Coordinator) Runner(ctx context.Context) func([]pipeline.Config) ([]*pipeline.Result, error) {
 	return func(cfgs []pipeline.Config) ([]*pipeline.Result, error) {
 		return c.RunAll(ctx, cfgs)
 	}
+}
+
+// point is one unit of dispatched work: a configuration, optionally
+// started from a sealed machine checkpoint (a sampled-simulation window).
+type point struct {
+	cfg  pipeline.Config
+	ckpt []byte
 }
 
 // simError is a job failure reported by a healthy backend: the simulation
@@ -430,7 +489,7 @@ func (e *backpressureError) Error() string {
 // function of the job key, and every stage — attempt, backoff wait,
 // hedge, local fallback — is a child, so a slow sweep decomposes into
 // stage delays exactly like an IPC loss decomposes into loop delays.
-func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Config) (*pipeline.Result, error) {
+func (c *Coordinator) runJob(ctx context.Context, key string, pt point) (*pipeline.Result, error) {
 	root := c.tracer.Root(key, "job")
 	defer root.End() // idempotent safety net: no path may leak the root
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
@@ -442,7 +501,7 @@ func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Confi
 		if b < 0 {
 			break // nobody admitted; degrade now rather than spin
 		}
-		res, err := c.tryOnce(ctx, b, key, cfg, root)
+		res, err := c.tryOnce(ctx, b, key, pt, root)
 		if err == nil {
 			root.SetStatus("ok")
 			return res, nil
@@ -488,7 +547,7 @@ func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Confi
 	// which path served it.
 	c.emit(EvLocalFallback, -1)
 	lsp := root.Child("local")
-	res, err := c.runLocal(ctx, cfg)
+	res, err := c.runLocal(ctx, pt)
 	lsp.SetError(err)
 	if err == nil {
 		lsp.SetWinner()
@@ -500,14 +559,21 @@ func (c *Coordinator) runJob(ctx context.Context, key string, cfg pipeline.Confi
 
 // runLocal simulates one configuration on this host, bounded so a fleet
 // outage cannot construct more live machines than GOMAXPROCS.
-func (c *Coordinator) runLocal(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+func (c *Coordinator) runLocal(ctx context.Context, pt point) (*pipeline.Result, error) {
 	select {
 	case c.localSem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 	defer func() { <-c.localSem }()
-	return loosesim.RunContext(ctx, cfg)
+	if pt.ckpt != nil {
+		m, err := pipeline.Restore(pt.cfg, pt.ckpt)
+		if err != nil {
+			return nil, err
+		}
+		return m.RunContext(ctx)
+	}
+	return loosesim.RunContext(ctx, pt.cfg)
 }
 
 // tryOnce submits one attempt against the primary backend, hedging a
@@ -516,10 +582,10 @@ func (c *Coordinator) runLocal(ctx context.Context, cfg pipeline.Config) (*pipel
 // cancelled. Attempt spans ("post") and hedge spans ("hedge") are
 // siblings under the job root; the span whose response the job used is
 // marked the winner.
-func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg pipeline.Config, root *trace.ActiveSpan) (*pipeline.Result, error) {
+func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, pt point, root *trace.ActiveSpan) (*pipeline.Result, error) {
 	if c.opts.HedgeDelay <= 0 {
 		sp := root.Child("post")
-		res, err := c.post(ctx, primary, cfg, sp)
+		res, err := c.post(ctx, primary, pt, sp)
 		if err == nil {
 			sp.SetWinner()
 		}
@@ -547,7 +613,7 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 	psp := root.Child("post")
 	open = append(open, psp)
 	go func() {
-		res, err := c.post(hctx, primary, cfg, psp)
+		res, err := c.post(hctx, primary, pt, psp)
 		ch <- outcome{res: res, err: err, sp: psp}
 	}()
 	inFlight := 1
@@ -566,7 +632,7 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 			hsp := root.Child("hedge")
 			open = append(open, hsp)
 			go func() {
-				res, err := c.post(hctx, s, cfg, hsp)
+				res, err := c.post(hctx, s, pt, hsp)
 				ch <- outcome{res: res, err: err, hedged: true, sp: hsp}
 			}()
 		case o := <-ch:
@@ -602,7 +668,7 @@ func (c *Coordinator) tryOnce(ctx context.Context, primary int, key string, cfg 
 // assignment (Target) and the outcome; the backend continues the trace
 // from the propagated Traceparent header. post never ends sp — the
 // caller does, because only it knows whether this attempt won.
-func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config, sp *trace.ActiveSpan) (res *pipeline.Result, err error) {
+func (c *Coordinator) post(ctx context.Context, b int, pt point, sp *trace.ActiveSpan) (res *pipeline.Result, err error) {
 	bk := c.backends[b]
 	// The target is the ring ordinal, not the URL: shard assignment is a
 	// pure function of the key, so the ordinal keeps span streams
@@ -621,7 +687,7 @@ func (c *Coordinator) post(ctx context.Context, b int, cfg pipeline.Config, sp *
 	bk.requests.Add(1)
 	c.emit(EvRequest, b)
 
-	body, err := json.Marshal(serve.JobSpec{Config: &cfg, NoCache: c.opts.NoCache})
+	body, err := json.Marshal(serve.JobSpec{Config: &pt.cfg, Checkpoint: pt.ckpt, NoCache: c.opts.NoCache})
 	if err != nil {
 		return nil, err // not a backend fault; do not count it
 	}

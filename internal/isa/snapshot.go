@@ -1,0 +1,39 @@
+package isa
+
+import "loosesim/internal/snap"
+
+// Snapshot encodes the static instruction into w (byte-stable; part of
+// the machine checkpoint format).
+func (in *Inst) Snapshot(w *snap.Writer) {
+	w.U64(in.PC)
+	w.U8(uint8(in.Op))
+	w.U16(uint16(in.Dest))
+	w.U16(uint16(in.Src[0]))
+	w.U16(uint16(in.Src[1]))
+	w.U64(in.Addr)
+	w.Bool(in.Taken)
+}
+
+// validReg accepts a register that is either a real architectural
+// register or the explicit RegInvalid sentinel; anything in between is
+// corrupt (the generator never emits it, and the rename table would
+// index out of range on it).
+func validReg(r Reg) bool { return r.Valid() || r == RegInvalid }
+
+// Restore overwrites in with state encoded by Snapshot, rejecting
+// out-of-range operation classes and register names.
+func (in *Inst) Restore(r *snap.Reader) {
+	in.PC = r.U64()
+	in.Op = OpClass(r.U8())
+	in.Dest = Reg(r.U16())
+	in.Src[0] = Reg(r.U16())
+	in.Src[1] = Reg(r.U16())
+	in.Addr = r.U64()
+	in.Taken = r.Bool()
+	if int(in.Op) >= NumOpClasses {
+		r.Failf("inst op class %d out of range", in.Op)
+	}
+	if !validReg(in.Dest) || !validReg(in.Src[0]) || !validReg(in.Src[1]) {
+		r.Failf("inst register out of range: d=%d s=[%d %d]", in.Dest, in.Src[0], in.Src[1])
+	}
+}

@@ -64,6 +64,19 @@ func (s CycleStack) sub(base CycleStack) CycleStack {
 	}
 }
 
+// Add returns s + o, field by field — the merge operation for combining
+// per-window cycle stacks from sampled simulation.
+func (s CycleStack) Add(o CycleStack) CycleStack {
+	return CycleStack{
+		Retiring: s.Retiring + o.Retiring,
+		FrontEnd: s.FrontEnd + o.FrontEnd,
+		Decode:   s.Decode + o.Decode,
+		IQWait:   s.IQWait + o.IQWait,
+		MemExec:  s.MemExec + o.MemExec,
+		Exec:     s.Exec + o.Exec,
+	}
+}
+
 // attributeCycle charges the just-finished cycle to a bucket. retired is
 // the number of instructions committed this cycle.
 func (m *Machine) attributeCycle(retired int) {

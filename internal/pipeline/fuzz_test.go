@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"loosesim/internal/workload"
+)
+
+// fuzzCfg is the fixed machine the fuzzer restores against. It must stay
+// byte-for-byte stable across runs or the committed corpus goes stale:
+// the seed snapshots in testdata/fuzz were taken under exactly this
+// config (see corpus_gen_test.go to regenerate them).
+func fuzzCfg() (Config, error) {
+	wl, err := workload.ByName("gcc")
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := DefaultConfig(wl)
+	cfg.WarmupInstructions = 1_000
+	cfg.MeasureInstructions = 3_000
+	// Tiny caches and tables keep the seed snapshots small enough to
+	// commit — the codec walks the same encode/decode paths regardless of
+	// array sizes.
+	cfg.Mem.L1.SizeBytes = 4 << 10
+	cfg.Mem.L2.SizeBytes = 16 << 10
+	cfg.Mem.L2.Ways = 4
+	cfg.BTBEntries = 64
+	cfg.StoreWaitSize = 64
+	cfg.MaxInFlight = 32
+	cfg.IQEntries = 32
+	cfg.NumPhysRegs = 128
+	return cfg, nil
+}
+
+// FuzzSnapshotRoundTrip fuzzes the snapshot codec's decode path with
+// arbitrary bytes. The contract: Restore either errors — it must never
+// panic, whatever the input — or accepts, in which case re-encoding the
+// restored machine must reproduce the input exactly (decode(encode(s)) ==
+// s, and no second preimage sneaks past the checksum).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	cfg, err := fuzzCfg()
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fresh, err := m.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fresh)
+	if err := m.RunUntilRetired(context.Background(), 2_000); err != nil {
+		f.Fatal(err)
+	}
+	mid, err := m.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mid)
+	// Structured near-misses: a flipped payload byte, a torn tail, a bare
+	// header — the shapes a broken cache or torn write would produce.
+	mut := bytes.Clone(mid)
+	mut[len(mut)/2] ^= 0xff
+	f.Add(mut)
+	f.Add(mid[:len(mid)/3])
+	f.Add([]byte("LOOMACH\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Restore(cfg, data)
+		if err != nil {
+			return // rejected; the harness itself catches any panic
+		}
+		again, err := m.Snapshot()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("decode(encode) is not the identity: %d bytes in, %d bytes out", len(data), len(again))
+		}
+	})
+}

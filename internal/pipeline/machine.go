@@ -117,6 +117,10 @@ type Machine struct {
 	dead       []deadRecord
 	deadHead   int
 	srcReadyFn func(*uop.UOp) bool
+
+	// genDonor, when non-nil during restorePayload, is a consumed machine
+	// whose generators seed the replay fast-forward (see RestoreReusing).
+	genDonor *Machine
 }
 
 // deadRecord is one retired or squashed uop awaiting reuse: at is the first
@@ -221,7 +225,7 @@ var ErrCycleBudget = errors.New("pipeline: cycle budget exhausted")
 func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
 	budget := m.cfg.CycleBudget
-	if m.cfg.WarmupInstructions == 0 {
+	if m.cfg.WarmupInstructions == 0 && !m.measuring {
 		m.startMeasuring()
 	}
 	for !m.measuring || m.ctr.Retired-m.warmSnap.Retired < m.cfg.MeasureInstructions {

@@ -89,6 +89,48 @@ func (c Counters) sub(base Counters) Counters {
 	}
 }
 
+// Add returns c + o, field by field — the merge operation for combining
+// per-window counters from sampled simulation (internal/sample) and for
+// coordinator-side aggregation of sharded sample windows.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Cycles:  c.Cycles + o.Cycles,
+		Retired: c.Retired + o.Retired,
+
+		Fetched:        c.Fetched + o.Fetched,
+		WrongPathFetch: c.WrongPathFetch + o.WrongPathFetch,
+		BTBBubbles:     c.BTBBubbles + o.BTBBubbles,
+		RenameStallIQ:  c.RenameStallIQ + o.RenameStallIQ,
+		FrontStalls:    c.FrontStalls + o.FrontStalls,
+
+		Branches:        c.Branches + o.Branches,
+		Mispredicts:     c.Mispredicts + o.Mispredicts,
+		SquashedTotal:   c.SquashedTotal + o.SquashedTotal,
+		SquashedIssued:  c.SquashedIssued + o.SquashedIssued,
+		BranchResLatSum: c.BranchResLatSum + o.BranchResLatSum,
+
+		Loads:          c.Loads + o.Loads,
+		L1Misses:       c.L1Misses + o.L1Misses,
+		L2Misses:       c.L2Misses + o.L2Misses,
+		BankConflicts:  c.BankConflicts + o.BankConflicts,
+		LoadMisspecs:   c.LoadMisspecs + o.LoadMisspecs,
+		DataReissues:   c.DataReissues + o.DataReissues,
+		LoadRefetches:  c.LoadRefetches + o.LoadRefetches,
+		TLBMissTraps:   c.TLBMissTraps + o.TLBMissTraps,
+		MemOrderTraps:  c.MemOrderTraps + o.MemOrderTraps,
+		StoreForwards:  c.StoreForwards + o.StoreForwards,
+		IssuedTotal:    c.IssuedTotal + o.IssuedTotal,
+		ExecutedUseful: c.ExecutedUseful + o.ExecutedUseful,
+
+		OperandsRead:     c.OperandsRead + o.OperandsRead,
+		OperandPreRead:   c.OperandPreRead + o.OperandPreRead,
+		OperandForwarded: c.OperandForwarded + o.OperandForwarded,
+		OperandCRC:       c.OperandCRC + o.OperandCRC,
+		OperandMisses:    c.OperandMisses + o.OperandMisses,
+		OperandReissues:  c.OperandReissues + o.OperandReissues,
+	}
+}
+
 // The derived-rate helpers live on Counters (not Result) so that both the
 // end-of-run Result and the observability layer's per-interval deltas
 // (internal/obs) compute them identically.

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotResumeFreshProcess is the cross-process half of the resume
+// guarantee: a checkpoint taken here and restored by a brand-new process
+// (re-exec of this test binary) must run to a result byte-identical to an
+// uninterrupted run, and the trace stream must concatenate seamlessly —
+// parent's records up to the checkpoint plus the child's records after it
+// reproduce the uninterrupted stream exactly. In-process resume identity
+// (TestSnapshotResumeByteIdentity) cannot see state smuggled through
+// process globals or pointer identity; this test can.
+func TestSnapshotResumeFreshProcess(t *testing.T) {
+	cfg, err := fuzzCfg()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dir := os.Getenv("LOOSIM_RESUME_DIR"); dir != "" {
+		resumeChild(t, cfg, dir)
+		return
+	}
+
+	// Uninterrupted reference run, tracing every retirement.
+	var refTrace bytes.Buffer
+	refCfg := cfg
+	refCfg.Tracer = NewTracer(&refTrace, 0)
+	ref, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refCfg.Tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: trace, stop mid-warmup, checkpoint, hand off.
+	const stopAt = 500
+	var preTrace bytes.Buffer
+	preCfg := cfg
+	preCfg.Tracer = NewTracer(&preTrace, 0)
+	m, err := New(preCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntilRetired(context.Background(), stopAt); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := mustSnapshot(t, m)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ckpt"), ckpt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestSnapshotResumeFreshProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(), "LOOSIM_RESUME_DIR="+dir)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+
+	childRes, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := json.Marshal(refRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(childRes, wantRes) {
+		t.Fatalf("fresh-process result differs:\nchild: %s\nwant:  %s", childRes, wantRes)
+	}
+
+	childTrace, err := os.ReadFile(filepath.Join(dir, "trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tracer writes its own header line; the child's is an artifact
+	// of opening a new stream, not part of the record sequence.
+	if i := bytes.IndexByte(childTrace, '\n'); i < 0 || !bytes.HasPrefix(childTrace, []byte("#")) {
+		t.Fatalf("child trace has no header: %.80s", childTrace)
+	} else {
+		childTrace = childTrace[i+1:]
+	}
+	joined := append(bytes.Clone(preTrace.Bytes()), childTrace...)
+	if !bytes.Equal(joined, refTrace.Bytes()) {
+		t.Fatalf("trace streams do not concatenate: parent %d + child %d bytes vs uninterrupted %d",
+			preTrace.Len(), len(childTrace), refTrace.Len())
+	}
+}
+
+// resumeChild is the re-exec'd half: restore the parent's checkpoint, run
+// to completion with a fresh tracer, and write the result and trace
+// suffix back for the parent to compare.
+func resumeChild(t *testing.T, cfg Config, dir string) {
+	ckpt, err := os.ReadFile(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	cfg.Tracer = NewTracer(&trace, 0)
+	m, err := Restore(cfg, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "result.json"), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace"), trace.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"loosesim/internal/snap"
+	"loosesim/internal/workload"
+)
+
+// snapshotConfigs covers the machine variants with distinct snapshot
+// payloads: every predictor family the dispatcher handles, DRA on and
+// off, and SMT (two threads, two generators, shared IQ).
+func snapshotConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	mk := func(bench string, mutate func(*Config)) Config {
+		wl, err := workload.ByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(wl)
+		cfg.WarmupInstructions = 5_000
+		cfg.MeasureInstructions = 12_000
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return cfg
+	}
+	return map[string]Config{
+		"base":     mk("gcc", nil),
+		"gshare":   mk("m88", func(c *Config) { c.Predictor = PredGShare }),
+		"bimodal":  mk("swim", func(c *Config) { c.Predictor = PredBimodal }),
+		"static":   mk("comp", func(c *Config) { c.Predictor = PredStatic }),
+		"smt":      mk("m88-comp", nil),
+		"dra": mk("gcc", func(c *Config) {
+			c.UseDRA = true
+			c.Predictor = PredPerceptron
+		}),
+	}
+}
+
+// mustSnapshot wraps Snapshot with the test fatal path.
+func mustSnapshot(t *testing.T, m *Machine) []byte {
+	t.Helper()
+	data, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSnapshotRoundTrip checks the codec identity decode(encode(state)) ==
+// state by re-encoding a restored machine and comparing bytes — at the
+// fresh state and mid-run with the pipeline full.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, cfg := range snapshotConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, stop := range []uint64{0, 7_001} {
+				if err := m.RunUntilRetired(context.Background(), stop); err != nil {
+					t.Fatal(err)
+				}
+				data := mustSnapshot(t, m)
+				m2, err := Restore(cfg, data)
+				if err != nil {
+					t.Fatalf("restore at %d retired: %v", stop, err)
+				}
+				if again := mustSnapshot(t, m2); !bytes.Equal(data, again) {
+					t.Fatalf("restore at %d retired re-encodes differently: %d vs %d bytes",
+						stop, len(data), len(again))
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotResumeByteIdentity is the tentpole invariant: checkpoint a
+// machine mid-run, restore into a fresh machine, run both to completion —
+// the results and the final machine states must be byte-identical, and
+// taking the snapshot must not perturb the original run.
+func TestSnapshotResumeByteIdentity(t *testing.T) {
+	for name, cfg := range snapshotConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+
+			// Reference: an uninterrupted run.
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes, err := ref.RunContext(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refFinal := mustSnapshot(t, ref)
+
+			// Checkpoint mid-warmup and mid-measurement, restore, resume.
+			for _, stop := range []uint64{3_000, 9_500} {
+				m, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.RunUntilRetired(ctx, stop); err != nil {
+					t.Fatal(err)
+				}
+				ckpt := mustSnapshot(t, m)
+
+				resumed, err := Restore(cfg, ckpt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := resumed.RunContext(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, refRes) {
+					t.Fatalf("stop %d: resumed result differs:\n%+v\nwant\n%+v", stop, res, refRes)
+				}
+				if got := mustSnapshot(t, resumed); !bytes.Equal(got, refFinal) {
+					t.Fatalf("stop %d: final state differs from uninterrupted run", stop)
+				}
+
+				// The snapshotted original continues unperturbed too.
+				res2, err := m.RunContext(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res2, refRes) {
+					t.Fatalf("stop %d: snapshotting perturbed the original run", stop)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRejectsMismatchedConfig checks the config digest guards
+// against restoring under a structurally different machine.
+func TestSnapshotRejectsMismatchedConfig(t *testing.T) {
+	cfgs := snapshotConfigs(t)
+	cfg := cfgs["base"]
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntilRetired(context.Background(), 2_000); err != nil {
+		t.Fatal(err)
+	}
+	data := mustSnapshot(t, m)
+
+	// Run-length and observability changes are compatible by design.
+	compat := cfg
+	compat.WarmupInstructions = 1
+	compat.MeasureInstructions = 99_999
+	compat.CycleBudget = 1 << 40
+	if _, err := Restore(compat, data); err != nil {
+		t.Fatalf("compatible config rejected: %v", err)
+	}
+
+	// Structural changes are not.
+	for name, mutate := range map[string]func(*Config){
+		"seed":      func(c *Config) { c.Seed ^= 1 },
+		"iq":        func(c *Config) { c.IQEntries *= 2 },
+		"predictor": func(c *Config) { c.Predictor = PredGShare },
+		"regs":      func(c *Config) { c.NumPhysRegs += 32 },
+	} {
+		bad := cfg
+		mutate(&bad)
+		if _, err := Restore(bad, data); !errors.Is(err, snap.ErrCorrupt) {
+			t.Fatalf("%s: mismatched config accepted (err=%v)", name, err)
+		}
+	}
+}
+
+// TestSnapshotCorruptionDetected flips bytes across the container and
+// checks every corruption either errors or, at minimum, never panics.
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	cfg := snapshotConfigs(t)["base"]
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunUntilRetired(context.Background(), 6_000); err != nil {
+		t.Fatal(err)
+	}
+	data := mustSnapshot(t, m)
+
+	if _, err := Restore(cfg, data[:len(data)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	step := len(data)/97 + 1
+	for i := 0; i < len(data); i += step {
+		mutated := bytes.Clone(data)
+		mutated[i] ^= 0x41
+		if _, err := Restore(cfg, mutated); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+}
+
+// TestWarmForwardAdvancesState checks the functional-warming fast path
+// moves the generators and trains caches and predictor without running
+// the pipeline.
+func TestWarmForwardAdvancesState(t *testing.T) {
+	cfg := snapshotConfigs(t)["smt"]
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WarmForward(50_000)
+	if got := m.Warmed(); got != 50_000 {
+		t.Fatalf("Warmed() = %d, want 50000", got)
+	}
+	if m.Cycle() != 0 || m.Retired() != 0 {
+		t.Fatalf("warming ran the pipeline: cycle %d, retired %d", m.Cycle(), m.Retired())
+	}
+
+	// A warmed machine snapshots and restores like any other, and the
+	// restored copy runs identically to the warmed original.
+	data := mustSnapshot(t, m)
+	m2, err := Restore(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := m2.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("warmed-restored run differs:\n%+v\nwant\n%+v", resB, resA)
+	}
+
+	// Warming must change behaviour relative to a cold machine — that is
+	// its whole point: the caches and predictor carry history forward.
+	cold, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCold, err := cold.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(resA.Counters, resCold.Counters) {
+		t.Fatal("warming had no effect on a subsequent run")
+	}
+}
+
+// TestRestoreReusingMatchesFresh: a donor-accelerated restore must be
+// byte-identical to a from-zero restore — the donor only changes where
+// generator replay starts, never what state it reaches — and the donor
+// must be consumed.
+func TestRestoreReusingMatchesFresh(t *testing.T) {
+	cfg := snapshotConfigs(t)["smt"]
+	chain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.WarmForward(4_000)
+	early := mustSnapshot(t, chain)
+	chain.WarmForward(20_000)
+	late := mustSnapshot(t, chain)
+
+	donor, err := Restore(cfg, early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.RunUntilRetired(context.Background(), 1_000); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Restore(cfg, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := RestoreReusing(cfg, late, donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustSnapshot(t, reused), mustSnapshot(t, fresh)) {
+		t.Fatal("donor-accelerated restore differs from fresh restore")
+	}
+	resA, err := fresh.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := reused.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("runs diverge after donor restore:\n%+v\nwant\n%+v", resB, resA)
+	}
+
+	// The donor's generators were transplanted; using it again must fail
+	// fast rather than silently desynchronize.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("consumed donor still usable")
+			}
+		}()
+		donor.WarmForward(10)
+	}()
+
+	// A donor under a different structural config is rejected.
+	om, err := New(snapshotConfigs(t)["base"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreReusing(cfg, late, om); err == nil {
+		t.Fatal("cross-config donor restore accepted")
+	}
+}

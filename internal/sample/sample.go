@@ -1,0 +1,240 @@
+// Package sample implements SMARTS-style sampled simulation on top of
+// the machine checkpoints in internal/pipeline. Instead of simulating a
+// workload's full measured region cycle-accurately, a sampler carries
+// long-lived microarchitectural state (cache contents, predictor
+// training) forward with cheap functional warming, drops a checkpoint at
+// the start of each of N evenly spaced measurement windows, and runs only
+// those windows — a short detailed warmup to refill the pipeline, then W
+// measured instructions — through the cycle-accurate model. Per-window
+// counters merge into a whole-run estimate with a confidence interval
+// from the dispersion across windows.
+//
+// Checkpoints are plain pipeline snapshots, so windows shard across
+// processes (internal/dispatch) or serve jobs: the checkpoint digest
+// content-addresses each window's work.
+package sample
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"loosesim/internal/pipeline"
+	"loosesim/internal/stats"
+)
+
+// Options sizes a sampled run.
+type Options struct {
+	// Windows is N, the number of measurement windows spread evenly over
+	// the full config's measured region.
+	Windows int
+	// WindowInstructions is W, the instructions measured per window.
+	WindowInstructions uint64
+	// DetailedWarmup is the cycle-accurate warmup run before each window
+	// to refill the pipeline, IQ, and in-flight state that functional
+	// warming does not model.
+	DetailedWarmup uint64
+}
+
+// DefaultOptions matches the SMARTS guidance of many small windows: the
+// estimate's standard error shrinks as 1/sqrt(N), so N buys accuracy far
+// faster than W.
+func DefaultOptions() Options {
+	return Options{Windows: 20, WindowInstructions: 2_000, DetailedWarmup: 16_000}
+}
+
+func (o Options) validate() error {
+	if o.Windows <= 0 {
+		return fmt.Errorf("sample: Windows %d, need > 0", o.Windows)
+	}
+	if o.WindowInstructions == 0 {
+		return fmt.Errorf("sample: WindowInstructions 0, need > 0")
+	}
+	return nil
+}
+
+// WindowConfig derives the per-window detailed configuration from the
+// full-run configuration: same machine, short run, no observability
+// sinks. Its ConfigDigest equals the full config's, so checkpoints taken
+// on the warming chain restore under it.
+func WindowConfig(cfg pipeline.Config, o Options) pipeline.Config {
+	w := cfg
+	w.WarmupInstructions = o.DetailedWarmup
+	w.MeasureInstructions = o.WindowInstructions
+	w.Tracer = nil
+	w.Events = nil
+	w.Intervals = nil
+	return w
+}
+
+// Checkpoints runs the functional-warming chain: one machine fast-forwards
+// through the workload, pausing to snapshot at each window's warmup start.
+// The chain costs one pass of cache/predictor updates over the stream —
+// O(total instructions), but a small constant per instruction compared to
+// cycle-accurate simulation.
+func Checkpoints(cfg pipeline.Config, o Options) ([][]byte, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	chain, err := pipeline.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	period := cfg.MeasureInstructions / uint64(o.Windows)
+	ckpts := make([][]byte, o.Windows)
+	pos := uint64(0)
+	for i := 0; i < o.Windows; i++ {
+		measureStart := cfg.WarmupInstructions + uint64(i)*period
+		warmStart := uint64(0)
+		if measureStart > o.DetailedWarmup {
+			warmStart = measureStart - o.DetailedWarmup
+		}
+		if warmStart > pos {
+			chain.WarmForward(warmStart - pos)
+			pos = warmStart
+		}
+		ckpts[i], err = chain.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ckpts, nil
+}
+
+// RunWindow restores one checkpoint under the window configuration and
+// runs it: detailed warmup, then the measured window.
+func RunWindow(ctx context.Context, wcfg pipeline.Config, ckpt []byte) (*pipeline.Result, error) {
+	m, err := pipeline.Restore(wcfg, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunContext(ctx)
+}
+
+// Interval is a mean with a 95% confidence half-width (normal
+// approximation: 1.96 · s/sqrt(n) over per-window values).
+type Interval struct {
+	Mean float64
+	CI95 float64
+}
+
+// RelCI returns the half-width relative to the mean — the figure SMARTS
+// quotes as sampling error.
+func (iv Interval) RelCI() float64 {
+	if iv.Mean == 0 {
+		return 0
+	}
+	return iv.CI95 / math.Abs(iv.Mean)
+}
+
+// MeanCI computes the mean and 95% confidence half-width of vals.
+func MeanCI(vals []float64) Interval {
+	n := float64(len(vals))
+	if n == 0 {
+		return Interval{}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / n
+	if n < 2 {
+		return Interval{Mean: mean}
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / (n - 1))
+	return Interval{Mean: mean, CI95: 1.96 * s / math.Sqrt(n)}
+}
+
+// Estimate is the whole-run estimate merged from per-window results.
+type Estimate struct {
+	// Windows and WindowInstructions echo the options that produced it.
+	Windows            int
+	WindowInstructions uint64
+	// TotalInstructions is the full run's measured-instruction count the
+	// estimate extrapolates to.
+	TotalInstructions uint64
+	// Counters is the field-wise sum over windows. Rates derived from it
+	// are ratio-of-sums estimators; absolute event counts scale by
+	// Scale() to whole-run magnitudes.
+	Counters pipeline.Counters
+	// Stack is the summed cycle-accounting stack.
+	Stack pipeline.CycleStack
+	// OperandGap is the merged operand-gap histogram.
+	OperandGap *stats.Histogram
+	// Metrics holds, per derived metric, the mean over windows with its
+	// 95% confidence half-width.
+	Metrics map[string]Interval
+}
+
+// Scale is the extrapolation factor from measured to whole-run event
+// counts: TotalInstructions / (Windows · WindowInstructions).
+func (e *Estimate) Scale() float64 {
+	return float64(e.TotalInstructions) / float64(uint64(e.Windows)*e.WindowInstructions)
+}
+
+// Merge combines per-window results into a whole-run estimate. It is the
+// coordinator-side merge for sharded sampled runs: each result may come
+// from a different process, as long as all ran the same window length.
+func Merge(results []*pipeline.Result, o Options, totalInstructions uint64) (*Estimate, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("sample: no window results to merge")
+	}
+	e := &Estimate{
+		Windows:            len(results),
+		WindowInstructions: o.WindowInstructions,
+		TotalInstructions:  totalInstructions,
+		OperandGap:         stats.NewHistogram(1),
+		Metrics:            make(map[string]Interval),
+	}
+	for _, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("sample: nil window result")
+		}
+		e.Counters = e.Counters.Add(res.Counters)
+		e.Stack = e.Stack.Add(res.Cycles)
+		e.OperandGap.Merge(res.OperandGap)
+	}
+	vals := make([]float64, len(results))
+	for _, met := range Metrics() {
+		for i, res := range results {
+			vals[i] = met.Eval(res.Counters)
+		}
+		e.Metrics[met.Name] = MeanCI(vals)
+	}
+	return e, nil
+}
+
+// Run is the single-process sampler: warm, checkpoint, run every window,
+// merge. Each finished window machine donates its generators to the next
+// window's restore (pipeline.RestoreReusing), so generator replay is one
+// incremental pass over the stream rather than O(windows · position) —
+// without it, restore cost alone would cancel the sampler's speedup on
+// long runs.
+func Run(ctx context.Context, cfg pipeline.Config, o Options) (*Estimate, error) {
+	ckpts, err := Checkpoints(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := WindowConfig(cfg, o)
+	results := make([]*pipeline.Result, len(ckpts))
+	var donor *pipeline.Machine
+	for i, ckpt := range ckpts {
+		m, err := pipeline.RestoreReusing(wcfg, ckpt, donor)
+		if err != nil {
+			return nil, fmt.Errorf("sample: window %d: %w", i, err)
+		}
+		if results[i], err = m.RunContext(ctx); err != nil {
+			return nil, fmt.Errorf("sample: window %d: %w", i, err)
+		}
+		donor = m
+	}
+	return Merge(results, o, cfg.MeasureInstructions)
+}

@@ -1,0 +1,167 @@
+package sample
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"loosesim/internal/pipeline"
+	"loosesim/internal/workload"
+)
+
+func testCfg(t *testing.T, bench string, dra bool) pipeline.Config {
+	t.Helper()
+	wl, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig(wl)
+	if dra {
+		cfg = pipeline.DRAConfigRF(wl, 5)
+	}
+	cfg.WarmupInstructions = 40_000
+	cfg.MeasureInstructions = 120_000
+	return cfg
+}
+
+// TestMeanCIShrinksAsRootN checks the confidence interval narrows as
+// 1/sqrt(n) on a seeded synthetic stream with fixed variance: quadrupling
+// the sample count must roughly halve the half-width.
+func TestMeanCIShrinksAsRootN(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	draw := func(n int) []float64 {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = 3.0 + rng.NormFloat64()
+		}
+		return vals
+	}
+	sizes := []int{100, 400, 1600, 6400}
+	widths := make([]float64, len(sizes))
+	for i, n := range sizes {
+		iv := MeanCI(draw(n))
+		if iv.CI95 <= 0 {
+			t.Fatalf("n=%d: CI95 = %v, want > 0", n, iv.CI95)
+		}
+		if math.Abs(iv.Mean-3.0) > 3*iv.CI95 {
+			t.Fatalf("n=%d: mean %.3f implausibly far from 3.0 (CI %.3f)", n, iv.Mean, iv.CI95)
+		}
+		widths[i] = iv.CI95
+	}
+	for i := 1; i < len(sizes); i++ {
+		ratio := widths[i-1] / widths[i] // expect ~2 per 4x step
+		if ratio < 1.5 || ratio > 2.7 {
+			t.Fatalf("CI width ratio n=%d→%d is %.2f, want ≈2 (widths %v)",
+				sizes[i-1], sizes[i], ratio, widths)
+		}
+	}
+	// Degenerate inputs.
+	if iv := MeanCI(nil); iv.Mean != 0 || iv.CI95 != 0 {
+		t.Fatalf("MeanCI(nil) = %+v", iv)
+	}
+	if iv := MeanCI([]float64{5}); iv.Mean != 5 || iv.CI95 != 0 {
+		t.Fatalf("MeanCI(single) = %+v", iv)
+	}
+}
+
+// TestSampledConvergence is the convergence gate: on a reduced tier-1
+// grid, every declared metric from a sampled run must land within its
+// error bound of the full cycle-accurate run.
+func TestSampledConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence validation is a long test")
+	}
+	labels := []string{"gcc/base", "swim/base", "gcc/dra", "m88-comp/base"}
+	cfgs := []pipeline.Config{
+		testCfg(t, "gcc", false),
+		testCfg(t, "swim", false),
+		testCfg(t, "gcc", true),
+		testCfg(t, "m88-comp", false),
+	}
+	viols, err := Validate(context.Background(), labels, cfgs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range viols {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestSamplerEstimateShape checks the plumbing: window counts, scale
+// factor, merged counters of plausible magnitude, and a finite CI on IPC.
+func TestSamplerEstimateShape(t *testing.T) {
+	cfg := testCfg(t, "comp", false)
+	opt := Options{Windows: 8, WindowInstructions: 1_500, DetailedWarmup: 1_000}
+	est, err := Run(context.Background(), cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Windows != opt.Windows {
+		t.Fatalf("Windows = %d, want %d", est.Windows, opt.Windows)
+	}
+	// Retirement is RetireWidth-wide, so each window may retire a few
+	// instructions past its threshold on the final cycle.
+	wantMeasured := uint64(opt.Windows) * opt.WindowInstructions
+	slack := uint64(opt.Windows) * uint64(cfg.RetireWidth-1)
+	if est.Counters.Retired < wantMeasured || est.Counters.Retired > wantMeasured+slack {
+		t.Fatalf("merged Retired = %d, want in [%d, %d]", est.Counters.Retired, wantMeasured, wantMeasured+slack)
+	}
+	wantScale := float64(cfg.MeasureInstructions) / float64(wantMeasured)
+	if math.Abs(est.Scale()-wantScale) > 1e-12 {
+		t.Fatalf("Scale() = %v, want %v", est.Scale(), wantScale)
+	}
+	ipc := est.Metrics["ipc"]
+	if !(ipc.Mean > 0) || math.IsNaN(ipc.CI95) {
+		t.Fatalf("ipc interval %+v", ipc)
+	}
+	if est.Counters.Cycles <= 0 {
+		t.Fatalf("merged Cycles = %d", est.Counters.Cycles)
+	}
+	if est.OperandGap == nil || est.OperandGap.Count() == 0 {
+		t.Fatal("operand-gap histogram did not merge")
+	}
+}
+
+// TestCheckpointsAreResumable checks each chain checkpoint restores under
+// the window config and that checkpoints are content-distinct (the cache
+// key depends on the digest, so identical windows would silently alias).
+func TestCheckpointsAreResumable(t *testing.T) {
+	cfg := testCfg(t, "m88", false)
+	opt := Options{Windows: 4, WindowInstructions: 1_000, DetailedWarmup: 500}
+	ckpts, err := Checkpoints(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := WindowConfig(cfg, opt)
+	seen := map[string]bool{}
+	for i, ckpt := range ckpts {
+		if seen[string(ckpt)] {
+			t.Fatalf("checkpoint %d duplicates an earlier one", i)
+		}
+		seen[string(ckpt)] = true
+		res, err := RunWindow(context.Background(), wcfg, ckpt)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		want := opt.WindowInstructions
+		if res.Counters.Retired < want || res.Counters.Retired >= want+uint64(cfg.RetireWidth) {
+			t.Fatalf("window %d retired %d, want in [%d, %d)", i, res.Counters.Retired, want, want+uint64(cfg.RetireWidth))
+		}
+	}
+}
+
+// TestMergeRejectsBadInput covers the error paths the coordinator relies
+// on.
+func TestMergeRejectsBadInput(t *testing.T) {
+	opt := DefaultOptions()
+	if _, err := Merge(nil, opt, 1000); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge([]*pipeline.Result{nil}, opt, 1000); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if _, err := Merge([]*pipeline.Result{{}}, Options{Windows: 0, WindowInstructions: 1}, 1000); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+}

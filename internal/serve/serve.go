@@ -25,6 +25,7 @@ import (
 	"loosesim/internal/experiments"
 	"loosesim/internal/obs"
 	"loosesim/internal/pipeline"
+	"loosesim/internal/snap"
 	"loosesim/internal/stats"
 	"loosesim/internal/trace"
 	"loosesim/internal/workload"
@@ -127,6 +128,17 @@ type JobSpec struct {
 	// above. The server zeroes the config's observability hooks — probes
 	// are not expressible over the wire — and runs it as-is.
 	Config *pipeline.Config `json:"config,omitempty"`
+
+	// Checkpoint, when set, restores the machine from this sealed
+	// pipeline snapshot (base64 over JSON) instead of constructing it
+	// fresh — the wire format for one sampled-simulation window. It
+	// requires a Config job: a named bench's defaulting could drift away
+	// from the config the checkpoint was taken under, and Restore would
+	// reject the digest mismatch only after the job was queued. The
+	// job's cache key gains the checkpoint's content address as a
+	// prefix, so a window result can never alias the full run (or
+	// another window) of the same configuration.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 
 	// Job control.
 	CycleBudget int64 `json:"cycle_budget,omitempty"` // abort after this many simulated cycles
@@ -501,6 +513,9 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 	if kinds != 1 {
 		return nil, errors.New("serve: a job needs exactly one of bench, figure, or config")
 	}
+	if spec.Checkpoint != nil && spec.Config == nil {
+		return nil, errors.New("serve: a checkpoint job needs a raw config")
+	}
 	class, err := ParseClass(spec.SLO)
 	if err != nil {
 		return nil, err
@@ -521,6 +536,11 @@ func (s *Server) SubmitTraced(spec JobSpec, parent trace.SpanContext) (*Job, err
 		key, err = ConfigKey(cfg)
 		if err != nil {
 			return nil, err
+		}
+		if spec.Checkpoint != nil {
+			// Prefix with the checkpoint's content address: same config,
+			// different starting state, different result.
+			key = snap.Digest(spec.Checkpoint)[:16] + key
 		}
 	}
 
@@ -787,7 +807,12 @@ func (s *Server) runSim(job *Job) uint64 {
 		cfg.Events = &jobEventSink{server: s}
 	}
 	rsp := job.span.Child("run")
-	m, err := pipeline.New(cfg)
+	var m *pipeline.Machine
+	if job.spec.Checkpoint != nil {
+		m, err = pipeline.Restore(cfg, job.spec.Checkpoint)
+	} else {
+		m, err = pipeline.New(cfg)
+	}
 	if err != nil {
 		rsp.SetError(err)
 		rsp.End()

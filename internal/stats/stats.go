@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"loosesim/internal/snap"
 )
 
 // Histogram counts integer-valued samples in unit-width buckets up to a
@@ -147,6 +149,65 @@ func (h *Histogram) Quantile(q float64) int {
 		}
 	}
 	return h.max
+}
+
+// Merge folds o's samples into h. Buckets add elementwise; when o has a
+// wider bound h grows to cover it, so merging is associative and
+// commutative even across histograms constructed with different bounds
+// (a sample that overflowed o stays overflow in h — Merge cannot know
+// its true value, so overflow counts simply add). o is unmodified; a nil
+// o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if len(o.buckets) > len(h.buckets) {
+		grown := make([]uint64, len(o.buckets))
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	for i, b := range o.buckets {
+		h.buckets[i] += b
+	}
+	h.overflow += o.overflow
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Snapshot encodes the full histogram state into w (byte-stable; part of
+// the machine checkpoint format).
+func (h *Histogram) Snapshot(w *snap.Writer) {
+	w.U64s(h.buckets)
+	w.U64(h.overflow)
+	w.U64(h.count)
+	w.U64(h.sum)
+	w.Int(h.max)
+}
+
+// maxSnapBuckets bounds a decoded histogram's bucket count; the simulator
+// never configures more than a few thousand unit-width buckets.
+const maxSnapBuckets = 1 << 20
+
+// Restore overwrites h with state encoded by Snapshot.
+func (h *Histogram) Restore(r *snap.Reader) {
+	h.buckets = r.U64s(maxSnapBuckets)
+	h.overflow = r.U64()
+	h.count = r.U64()
+	h.sum = r.U64()
+	h.max = r.Int()
+	// Add never records a negative max, and NewHistogram never builds an
+	// empty bucket range; either means the bytes are corrupt.
+	if h.max < 0 {
+		r.Failf("histogram max %d negative", h.max)
+		h.max = 0
+	}
+	if len(h.buckets) == 0 {
+		r.Failf("histogram with no buckets")
+		h.buckets = make([]uint64, 1)
+	}
 }
 
 // histogramJSON is a Histogram's wire form: trailing zero buckets are

@@ -78,7 +78,14 @@ echo "BenchmarkMachine: $kips KIPS  ($ns ns/op, $bytes B/op, $allocs allocs/op, 
 
 case "$mode" in
 snapshot)
-	cat >"$snapshot" <<EOF
+	# The top-level fields are the current baseline the check gate reads;
+	# "history" accumulates one dated line per refresh so the snapshot
+	# records a trajectory, not just the latest point. Entries from the
+	# existing file are carried over (one per line, normalized commas).
+	old_history=$(sed -n 's/^    \({"date":.*}\),\{0,1\}$/\1/p' "$snapshot" 2>/dev/null || true)
+	entry="{\"date\": \"$(date -u +%Y-%m-%d)\", \"cpu\": \"$cpu\", \"ns_per_op\": $ns, \"kips\": $kips, \"bytes_per_op\": $bytes, \"allocs_per_op\": $allocs}"
+	{
+		cat <<EOF
 {
   "benchmark": "BenchmarkMachine",
   "cpu": "$cpu",
@@ -86,19 +93,30 @@ snapshot)
   "ns_per_op": $ns,
   "kips": $kips,
   "bytes_per_op": $bytes,
-  "allocs_per_op": $allocs
+  "allocs_per_op": $allocs,
+  "history": [
+EOF
+		if [ -n "$old_history" ]; then
+			printf '%s\n' "$old_history" | sed 's/^/    /; s/$/,/'
+		fi
+		printf '    %s\n' "$entry"
+		cat <<EOF
+  ]
 }
 EOF
-	echo "wrote $snapshot"
+	} >"$snapshot"
+	echo "wrote $snapshot ($(grep -c '^    {"date":' "$snapshot") history entries)"
 	;;
 check)
 	if [ ! -f "$snapshot" ]; then
 		echo "bench.sh: no committed $snapshot to compare against (run scripts/bench.sh first)" >&2
 		exit 2
 	fi
-	base_cpu=$(sed -n 's/.*"cpu": *"\(.*\)".*/\1/p' "$snapshot")
-	base_kips=$(sed -n 's/.*"kips": *\([0-9.]*\).*/\1/p' "$snapshot")
-	base_allocs=$(sed -n 's/.*"allocs_per_op": *\([0-9]*\).*/\1/p' "$snapshot")
+	# head -1 pins each field to the top-level baseline: the history
+	# entries repeat the same key names further down the file.
+	base_cpu=$(sed -n 's/.*"cpu": *"\([^"]*\)".*/\1/p' "$snapshot" | head -1)
+	base_kips=$(sed -n 's/.*"kips": *\([0-9.]*\).*/\1/p' "$snapshot" | head -1)
+	base_allocs=$(sed -n 's/.*"allocs_per_op": *\([0-9]*\).*/\1/p' "$snapshot" | head -1)
 	if [ -z "$base_kips" ] || [ -z "$base_allocs" ]; then
 		echo "bench.sh: $snapshot is missing kips/allocs_per_op fields" >&2
 		exit 2

@@ -39,6 +39,12 @@ go test -race ./...
 echo "==> bench regression gate (BenchmarkMachine vs BENCH_machine.json)"
 ./scripts/bench.sh check
 
+echo "==> snapshot fuzz smoke (FuzzSnapshotRoundTrip, 10s past the seed corpus)"
+# The committed corpus replays as part of `go test` above; this additionally
+# mutates for a short budget so codec regressions that need a fresh input to
+# trip are caught before CI's longer run.
+go test ./internal/pipeline -run '^FuzzSnapshotRoundTrip$' -fuzz '^FuzzSnapshotRoundTrip$' -fuzztime 10s >/dev/null
+
 echo "==> observability smoke (loosim -intervals/-events | loopstat)"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
